@@ -1,0 +1,31 @@
+"""Result recording for the benchmark harness.
+
+Every bench registers its paper-style table/series text here; the
+benchmarks/conftest.py terminal-summary hook prints everything at the
+end of the run, and each artefact is also written to
+``benchmarks/results/<name>.txt`` so the output survives pytest's
+capture regardless of flags.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+
+_RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+_REGISTRY: list[tuple[str, str]] = []
+
+
+def record_table(name: str, text: str) -> None:
+    """Register a rendered table/figure for terminal display and save it."""
+    _REGISTRY.append((name, text))
+    os.makedirs(_RESULTS_DIR, exist_ok=True)
+    safe = re.sub(r"[^A-Za-z0-9_.-]+", "_", name).strip("_").lower()
+    with open(os.path.join(_RESULTS_DIR, f"{safe}.txt"), "w") as fh:
+        fh.write(text + "\n")
+
+
+def drain_tables() -> list[tuple[str, str]]:
+    out = list(_REGISTRY)
+    _REGISTRY.clear()
+    return out

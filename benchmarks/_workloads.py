@@ -1,0 +1,131 @@
+"""Shared workloads and cached computations for the benchmark harness.
+
+The paper's evaluation (Tables 1-3, Figures 4-6) runs 18 factorizations
+(ILUT and ILUT* over m ∈ {5,10,20} × t ∈ {1e-2,1e-4,1e-6}, k=2) of two
+matrices — G0 (2-D centered-difference grid) and TORSO (unstructured 3-D
+FEM) — on 16..128 Cray T3D processors.
+
+Scaling: a pure-Python reproduction cannot execute 200k-row
+factorizations 144 times in CI time, so the default ``small`` scale runs
+the *same parameter grid* on smaller matrices with the processor range
+scaled to keep rows-per-processor comparable (paper: G0 51k rows / 128
+PEs ≈ 400 rows/PE; here: 1600 rows / 16 PEs ≈ 100-800 rows/PE across the
+sweep).  Set ``REPRO_BENCH_SCALE=paper`` for the full-size runs (hours).
+
+All factorization/trisolve results are cached so the table benches and
+the figure benches share one set of runs.
+"""
+
+from __future__ import annotations
+
+import os
+from functools import lru_cache
+
+import numpy as np
+
+from repro import decompose, parallel_ilut, parallel_ilut_star, poisson2d, torso_like
+from repro.ilu import parallel_triangular_solve
+from repro.machine import CRAY_T3D
+from repro.solvers import parallel_matvec
+
+SCALE = os.environ.get("REPRO_BENCH_SCALE", "small")
+
+_CONFIGS = {
+    # grid nx, torso points, processor sweep, GMRES matrix sizes / procs
+    "small": dict(
+        g0_nx=48,
+        torso_n=1200,
+        procs=(2, 4, 8, 16),
+        gmres_g0_nx=32,
+        gmres_torso_n=900,
+        gmres_p=16,
+    ),
+    "medium": dict(
+        g0_nx=70,
+        torso_n=4000,
+        procs=(4, 8, 16, 32),
+        gmres_g0_nx=48,
+        gmres_torso_n=2000,
+        gmres_p=32,
+    ),
+    "paper": dict(
+        g0_nx=226,
+        torso_n=100_000,
+        procs=(16, 32, 64, 128),
+        gmres_g0_nx=226,
+        gmres_torso_n=100_000,
+        gmres_p=128,
+    ),
+}
+
+CFG = _CONFIGS[SCALE]
+PROCS: tuple[int, ...] = CFG["procs"]
+MS = (5, 10, 20)
+TS = (1e-2, 1e-4, 1e-6)
+KSTAR = 2
+MODEL = CRAY_T3D
+SEED = 0
+
+
+@lru_cache(maxsize=None)
+def matrix(name: str):
+    """The benchmark matrices: 'g0' and 'torso' (plus GMRES-sized ones)."""
+    if name == "g0":
+        return poisson2d(CFG["g0_nx"])
+    if name == "torso":
+        return torso_like(CFG["torso_n"], seed=0)
+    if name == "g0_gmres":
+        return poisson2d(CFG["gmres_g0_nx"])
+    if name == "torso_gmres":
+        return torso_like(CFG["gmres_torso_n"], seed=0)
+    raise KeyError(name)
+
+
+@lru_cache(maxsize=None)
+def decomposition(name: str, p: int):
+    return decompose(matrix(name), p, seed=SEED)
+
+
+@lru_cache(maxsize=None)
+def factorize(name: str, algo: str, m: int, t: float, p: int):
+    """One parallel factorization on the simulated machine (cached)."""
+    A = matrix(name)
+    d = decomposition(name, p)
+    if algo == "ILUT":
+        return parallel_ilut(A, m, t, p, decomp=d, model=MODEL, seed=SEED)
+    if algo == "ILUT*":
+        return parallel_ilut_star(A, m, t, KSTAR, p, decomp=d, model=MODEL, seed=SEED)
+    raise KeyError(algo)
+
+
+@lru_cache(maxsize=None)
+def trisolve(name: str, algo: str, m: int, t: float, p: int):
+    """One fwd+bwd substitution with the factors of ``factorize`` (cached)."""
+    r = factorize(name, algo, m, t, p)
+    n = matrix(name).shape[0]
+    b = np.ones(n)
+    return parallel_triangular_solve(r.factors, b, nranks=p, model=MODEL)
+
+
+@lru_cache(maxsize=None)
+def matvec_time(name: str, p: int) -> float:
+    A = matrix(name)
+    d = decomposition(name, p)
+    x = np.ones(A.shape[0])
+    return parallel_matvec(A, d, x, model=MODEL).modeled_time
+
+
+def label(algo: str, m: int, t: float) -> str:
+    from repro.analysis import factorization_label
+
+    if algo == "ILUT*":
+        return factorization_label("ILUT*", m, t, KSTAR)
+    return factorization_label("ILUT", m, t)
+
+
+def all_configs():
+    """The paper's 18 factorizations: 9 ILUT + 9 ILUT*."""
+    for algo in ("ILUT", "ILUT*"):
+        for t in TS:
+            for m in MS:
+                yield algo, m, t

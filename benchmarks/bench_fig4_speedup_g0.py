@@ -1,0 +1,46 @@
+"""Figure 4 — factorization speedup on G0.
+
+Paper: relative speedup (vs the smallest processor count) of the nine
+ILUT and nine ILUT* factorizations of G0.  Shapes: near-identical ILUT
+vs ILUT* curves at t=1e-2; ILUT* clearly better at t=1e-4 and
+especially t=1e-6.
+"""
+
+import pytest
+
+from _reporting import record_table
+from _workloads import PROCS, all_configs, factorize, label
+
+
+def _series(name: str):
+    from repro.analysis import format_series, relative_speedups
+
+    lines = []
+    data = {}
+    for algo, m, t in all_configs():
+        times = {p: factorize(name, algo, m, t, p).modeled_time for p in PROCS}
+        sp = relative_speedups(times)
+        data[(algo, m, t)] = sp
+        lines.append(format_series(label(algo, m, t), PROCS, [sp[p] for p in PROCS]))
+    return "\n".join(lines), data
+
+
+def test_fig4_speedup_g0(benchmark):
+    text, data = benchmark.pedantic(_series, args=("g0",), rounds=1, iterations=1)
+    record_table("Figure 4: factorization speedup, G0 (relative to p=%d)" % PROCS[0], text)
+    pmax = PROCS[-1]
+    # Shape 1: every ILUT* configuration gains from more processors, and
+    # so does ILUT away from the dense t=1e-6 regime (where the paper
+    # itself shows ILUT's scaling collapsing)
+    for (algo, m, t), sp in data.items():
+        if algo == "ILUT*" or t > 1e-6:
+            assert sp[pmax] > 1.0, f"{(algo, m, t)} shows no speedup at all"
+    # Shape 2: at the tightest threshold ILUT* clearly out-scales ILUT
+    for m in (5, 10, 20):
+        sp_i = data[("ILUT", m, 1e-6)][pmax]
+        sp_s = data[("ILUT*", m, 1e-6)][pmax]
+        assert sp_s > sp_i, f"m={m}: ILUT* must out-scale ILUT at t=1e-6"
+    # Shape 3: at the loose threshold the two are nearly identical
+    assert data[("ILUT", 5, 1e-2)][pmax] == pytest.approx(
+        data[("ILUT*", 5, 1e-2)][pmax], rel=0.1
+    )

@@ -1,0 +1,60 @@
+"""Figure 5 — factorization speedup on TORSO.
+
+Paper: same series as Figure 4 for the TORSO matrix.  Extra shape: the
+overall speedups are *better* than on G0 (larger problem → smaller
+relative parallel overhead), and ILUT degrades most at t=1e-6 while
+ILUT* stays near-linear except a mild droop at m=20.
+"""
+
+import pytest
+
+from _reporting import record_table
+from _workloads import PROCS, all_configs, factorize, label
+
+
+def _series(name: str):
+    from repro.analysis import format_series, relative_speedups
+
+    lines = []
+    data = {}
+    for algo, m, t in all_configs():
+        times = {p: factorize(name, algo, m, t, p).modeled_time for p in PROCS}
+        sp = relative_speedups(times)
+        data[(algo, m, t)] = sp
+        lines.append(format_series(label(algo, m, t), PROCS, [sp[p] for p in PROCS]))
+    return "\n".join(lines), data
+
+
+def test_fig5_speedup_torso(benchmark):
+    text, data = benchmark.pedantic(_series, args=("torso",), rounds=1, iterations=1)
+    record_table(
+        "Figure 5: factorization speedup, TORSO (relative to p=%d)" % PROCS[0], text
+    )
+    pmax = PROCS[-1]
+    for key, sp in data.items():
+        assert sp[pmax] > 1.0, f"{key} shows no speedup at all"
+    # ILUT* at the tight threshold scales at least as well as ILUT
+    assert (
+        data[("ILUT*", 10, 1e-6)][pmax] >= 0.9 * data[("ILUT", 10, 1e-6)][pmax]
+    )
+
+
+def test_fig5_vs_fig4_larger_problem_scales_better(benchmark):
+    """Paper §6: TORSO speedups beat G0's because the problem is larger."""
+    from repro.analysis import relative_speedups
+
+    def compare():
+        pmax = PROCS[-1]
+        sp = {}
+        for name in ("g0", "torso"):
+            times = {p: factorize(name, "ILUT*", 10, 1e-4, p).modeled_time for p in PROCS}
+            sp[name] = relative_speedups(times)[pmax]
+        return sp
+
+    sp = benchmark.pedantic(compare, rounds=1, iterations=1)
+    record_table(
+        "Figure 4 vs 5: ILUT*(10,1e-4) speedup at p=%d" % PROCS[-1],
+        f"G0: {sp['g0']:.2f}   TORSO: {sp['torso']:.2f}",
+    )
+    # TORSO (larger or equal problem) should not scale dramatically worse
+    assert sp["torso"] >= 0.7 * sp["g0"]

@@ -1,0 +1,67 @@
+"""Figure 6 — forward/backward substitution speedup on TORSO.
+
+Paper: relative speedup of the fwd+bwd solves for the 18 factorizations.
+Shapes: speedup decreases as m grows / t shrinks (more levels → more
+synchronisation points), and the ILUT* solves scale better than ILUT's
+because they need fewer independent sets.
+"""
+
+import pytest
+
+from _reporting import record_table
+from _workloads import PROCS, all_configs, factorize, label, trisolve
+
+
+def _series(name: str):
+    from repro.analysis import format_series, relative_speedups
+
+    lines = []
+    data = {}
+    for algo, m, t in all_configs():
+        times = {p: trisolve(name, algo, m, t, p).modeled_time for p in PROCS}
+        sp = relative_speedups(times)
+        data[(algo, m, t)] = sp
+        lines.append(format_series(label(algo, m, t), PROCS, [sp[p] for p in PROCS]))
+    return "\n".join(lines), data
+
+
+def test_fig6_speedup_trisolve(benchmark):
+    text, data = benchmark.pedantic(_series, args=("torso",), rounds=1, iterations=1)
+    record_table(
+        "Figure 6: fwd/bwd substitution speedup, TORSO (relative to p=%d)"
+        % PROCS[0],
+        text,
+    )
+    pmax = PROCS[-1]
+    # Shape: the cheap factorization's solve scales at least as well as
+    # the over-filled one's (more levels hurt).
+    sp_cheap = data[("ILUT", 5, 1e-2)][pmax]
+    sp_dense = data[("ILUT", 20, 1e-6)][pmax]
+    assert sp_cheap >= 0.8 * sp_dense
+    # Shape: ILUT* solves scale no worse than ILUT solves at t=1e-6
+    assert data[("ILUT*", 20, 1e-6)][pmax] >= 0.85 * data[("ILUT", 20, 1e-6)][pmax]
+
+
+def test_levels_drive_sync_cost(benchmark):
+    """The mechanism behind Figure 6: per-solve synchronisation count is
+    exactly 2q + O(1), so fewer levels → fewer barriers."""
+
+    def counts():
+        p = PROCS[-1]
+        out = {}
+        for algo in ("ILUT", "ILUT*"):
+            r = factorize("torso", algo, 20, 1e-6, p)
+            ts = trisolve("torso", algo, 20, 1e-6, p)
+            out[algo] = (r.num_levels, ts.comm.barriers)
+        return out
+
+    c = benchmark.pedantic(counts, rounds=1, iterations=1)
+    record_table(
+        "Figure 6 mechanism: q and barriers per solve (torso, m=20, t=1e-6)",
+        f"ILUT: q={c['ILUT'][0]} barriers={c['ILUT'][1]}   "
+        f"ILUT*: q={c['ILUT*'][0]} barriers={c['ILUT*'][1]}",
+    )
+    for algo in ("ILUT", "ILUT*"):
+        q, barriers = c[algo]
+        assert barriers == 2 * q + 2  # fwd levels + bwd levels + 2 interior
+    assert c["ILUT*"][0] <= c["ILUT"][0]

@@ -1,0 +1,61 @@
+"""§6 text — independent-set counts of ILUT vs ILUT*.
+
+Paper (TORSO, p=128): ILUT(20,1e-2) needs 132 independent sets and
+ILUT(20,1e-6) needs 389, while ILUT* needs only 105 and 112 — 'not only
+are they fewer, but they also increase at a much lower rate'.
+"""
+
+import pytest
+
+from _reporting import record_table
+from _workloads import PROCS, TS, factorize
+
+
+def _level_counts():
+    p = PROCS[-1]
+    out = {}
+    for algo in ("ILUT", "ILUT*"):
+        out[algo] = [factorize("torso", algo, 20, t, p).num_levels for t in TS]
+    return out
+
+
+def test_independent_set_counts(benchmark):
+    counts = benchmark.pedantic(_level_counts, rounds=1, iterations=1)
+    lines = [
+        f"{algo:6s}: "
+        + "  ".join(f"t={t:.0e}: q={q}" for t, q in zip(TS, counts[algo]))
+        for algo in ("ILUT", "ILUT*")
+    ]
+    record_table(
+        "Independent-set counts, TORSO m=20, p=%d" % PROCS[-1], "\n".join(lines)
+    )
+    ilut_counts = counts["ILUT"]
+    star_counts = counts["ILUT*"]
+    # ILUT's level count grows as t shrinks
+    assert ilut_counts[-1] > ilut_counts[0]
+    # ILUT* needs no more levels at every t
+    for qi, qs in zip(ilut_counts, star_counts):
+        assert qs <= qi
+    # and grows at a much lower rate (paper: 389/132 ≈ 2.9 vs 112/105 ≈ 1.07)
+    ilut_growth = ilut_counts[-1] / max(ilut_counts[0], 1)
+    star_growth = star_counts[-1] / max(star_counts[0], 1)
+    assert star_growth <= ilut_growth
+
+
+def test_level_sizes_shrink_for_ilut(benchmark):
+    """Denser reduced matrices → smaller independent sets (paper §4.2)."""
+
+    def mean_sizes():
+        p = PROCS[-1]
+        out = {}
+        for algo in ("ILUT", "ILUT*"):
+            r = factorize("torso", algo, 20, 1e-6, p)
+            out[algo] = sum(r.level_sizes) / max(len(r.level_sizes), 1)
+        return out
+
+    s = benchmark.pedantic(mean_sizes, rounds=1, iterations=1)
+    record_table(
+        "Mean independent-set size, TORSO m=20 t=1e-6, p=%d" % PROCS[-1],
+        f"ILUT: {s['ILUT']:.1f}   ILUT*: {s['ILUT*']:.1f}",
+    )
+    assert s["ILUT*"] >= s["ILUT"]

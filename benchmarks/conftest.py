@@ -1,0 +1,21 @@
+"""Benchmark-suite configuration: print recorded paper-style tables."""
+
+import sys
+import os
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+from _reporting import drain_tables  # noqa: E402
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    tables = drain_tables()
+    if not tables:
+        return
+    for name, text in tables:
+        terminalreporter.write_sep("=", name)
+        for line in text.splitlines():
+            terminalreporter.write_line(line)
+    terminalreporter.write_sep(
+        "=", "tables also saved under benchmarks/results/"
+    )

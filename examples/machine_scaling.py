@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Scalability study across machine models (the paper's Figures 4-6 story).
+
+Runs the same ILUT and ILUT* factorization across a processor sweep on
+three machine models — the Cray T3D preset, an ethernet workstation
+cluster, and an ideal zero-communication machine — and prints speedup
+curves.  Reproduces the paper's §7 observation that ILUT*'s fewer
+synchronisation levels are *critical* on slower networks.
+
+Run:  python examples/machine_scaling.py
+"""
+
+import numpy as np
+
+from repro import (
+    CRAY_T3D,
+    IDEAL,
+    WORKSTATION_CLUSTER,
+    parallel_ilut,
+    parallel_ilut_star,
+    poisson2d,
+)
+from repro.analysis import format_series, relative_speedups
+
+
+def main(nx: int = 48, procs: tuple = (2, 4, 8, 16)) -> None:
+    A = poisson2d(nx)
+    m, t = 10, 1e-6  # the dense regime where the story is interesting
+    print(f"workload: G0-class grid, n={A.shape[0]}, ILUT/ILUT*(m={m}, t={t})\n")
+
+    for model in (CRAY_T3D, WORKSTATION_CLUSTER, IDEAL):
+        print(f"--- machine: {model.name}")
+        for name, runner in (
+            ("ILUT ", lambda p: parallel_ilut(A, m, t, p, seed=0, model=model)),
+            ("ILUT*", lambda p: parallel_ilut_star(A, m, t, 2, p, seed=0, model=model)),
+        ):
+            times = {p: runner(p).modeled_time for p in procs}
+            sp = relative_speedups(times)
+            print(
+                " ",
+                format_series(
+                    f"{name} time(s)", procs, [times[p] for p in procs], yfmt="{:.4f}"
+                ),
+            )
+            print(
+                " ",
+                format_series(
+                    f"{name} speedup", procs, [sp[p] for p in procs]
+                ),
+            )
+        ti = parallel_ilut(A, m, t, procs[-1], seed=0, model=model).modeled_time
+        ts = parallel_ilut_star(A, m, t, 2, procs[-1], seed=0, model=model).modeled_time
+        print(f"  ILUT* saves {ti - ts:.4f}s at p={procs[-1]} ({ti / ts:.2f}x)\n")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""Textual reproduction of the paper's illustrative Figures 1-3.
+
+* **Figure 1** — why a colouring suffices for ILU(0) but not ILUT: count
+  the *new* interface-to-interface dependencies ILUT's fill creates (for
+  ILU(0) the count is zero by construction).
+* **Figure 2** — the sequence of independent sets that factors the
+  interface nodes, printed level by level.
+* **Figure 3** — the block structure of the resulting L and U factors:
+  which processor owns each position range, and where the nonzeros sit.
+
+Run:  python examples/paper_figures.py
+"""
+
+import numpy as np
+
+from repro import adjacency_from_matrix, decompose, greedy_coloring, parallel_ilut, poisson2d
+from repro.graph import color_classes, is_independent_set
+
+
+def main(nx: int = 12) -> None:
+    A = poisson2d(nx)
+    p = 4
+    d = decompose(A, p, seed=0)
+    print(d.summary())
+    iface = d.all_interface
+    print(f"\n=== Figure 1: colouring vs dynamic fill ===")
+
+    # (a) ILU(0): one colouring of the interface graph gives all levels
+    g = adjacency_from_matrix(A)
+    sub_mask = np.zeros(A.shape[0], dtype=bool)
+    sub_mask[iface] = True
+    colors = greedy_coloring(g)
+    iface_colors = colors[iface]
+    ncolors = int(iface_colors.max()) + 1
+    print(f"(a) ILU(0): interface nodes are {ncolors}-coloured once, up front;")
+    print(f"    colour class sizes: {[int((iface_colors == c).sum()) for c in range(ncolors)]}")
+
+    # (b) ILUT: fill adds dependencies between interface nodes, breaking
+    # the precomputed colouring
+    res = parallel_ilut(A, 10, 1e-6, p, decomp=d, seed=0, simulate=False)
+    U = res.factors.U
+    perm = res.factors.perm
+    orig_pos = {int(v): k for k, v in enumerate(perm)}
+    new_deps = 0
+    same_color_deps = 0
+    struct = {(int(i), int(j)) for i, cols, _ in A.iter_rows() for j in cols}
+    for lvl in res.factors.levels.interface_levels:
+        for pp in lvl:
+            vi = int(perm[pp])
+            cols, _ = U.row(int(pp))
+            for cpos in cols[1:]:
+                vj = int(perm[cpos])
+                if (vi, vj) not in struct:
+                    new_deps += 1
+                    if colors[vi] == colors[vj]:
+                        same_color_deps += 1
+    print(f"(b) ILUT(10,1e-6): fill created {new_deps} brand-new interface")
+    print(f"    dependencies, {same_color_deps} of them between same-colour nodes —")
+    print(f"    the precomputed colouring is no longer an independent-set schedule.")
+
+    print(f"\n=== Figure 2: the sequence of independent sets ===")
+    print(f"{res.num_levels} independent sets factor the {iface.size} interface rows:")
+    for l, lvl in enumerate(res.factors.levels.interface_levels[:12]):
+        nodes = perm[lvl]
+        print(f"  I_{l}: {lvl.size:3d} rows  e.g. {sorted(nodes.tolist())[:8]}")
+    if res.num_levels > 12:
+        print(f"  ... and {res.num_levels - 12} more")
+
+    print(f"\n=== Figure 3: factor block structure ===")
+    owner = res.factors.levels.owner
+    print("position ranges and owners (interior blocks, then MIS levels):")
+    for r, (s, e) in enumerate(res.factors.levels.interior_ranges):
+        print(f"  rows {s:4d}-{e:4d}: interior of processor {r}")
+    s0 = res.factors.levels.interior_ranges[-1][1]
+    print(f"  rows {s0:4d}-{A.shape[0]:4d}: interface, in MIS-level order")
+    # nnz distribution of L by (row block, col block) — the Figure 3 shading
+    n_int = s0
+    blocks = {"int-int": 0, "iface-int": 0, "iface-iface": 0}
+    L = res.factors.L
+    for i in range(A.shape[0]):
+        cols, _ = L.row(i)
+        for c in cols:
+            if i < n_int:
+                blocks["int-int"] += 1
+            elif c < n_int:
+                blocks["iface-int"] += 1
+            else:
+                blocks["iface-iface"] += 1
+    print(f"L nonzeros by block: {blocks}")
+
+
+if __name__ == "__main__":
+    main()

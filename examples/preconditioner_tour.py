@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Tour of the preconditioner zoo on a convection-diffusion problem.
+
+The paper's §2 argument in one script: static-pattern factorizations
+(ILU(0), ILU(k)) drop fill by *position* and are blind to magnitudes,
+while threshold-based ILUT drops by *value* — on a convection-dominated
+problem the threshold family wins at comparable fill.
+
+Compares: no preconditioner, diagonal, ILU(0), ILU(1), ILU(2),
+ILUT(5,1e-2), ILUT(10,1e-4) inside GMRES(20).
+
+Run:  python examples/preconditioner_tour.py
+"""
+
+import numpy as np
+
+from repro import (
+    DiagonalPreconditioner,
+    ILUPreconditioner,
+    convection_diffusion2d,
+    gmres,
+    ilu0,
+    iluk,
+    ilut,
+)
+from repro.analysis import format_table
+from repro.solvers import IdentityPreconditioner
+
+
+def main(nx: int = 40) -> None:
+    A = convection_diffusion2d(nx, bx=60.0, by=40.0)
+    n = A.shape[0]
+    b = A @ np.ones(n)
+    print(f"convection-diffusion system: n={n}, nnz={A.nnz}\n")
+
+    candidates = [
+        ("none", IdentityPreconditioner(), 0),
+        ("diagonal", DiagonalPreconditioner(A), n),
+        ("ILU(0)", None, None),
+        ("ILU(1)", None, None),
+        ("ILU(2)", None, None),
+        ("ILUT(5,1e-2)", None, None),
+        ("ILUT(10,1e-4)", None, None),
+    ]
+    factories = {
+        "ILU(0)": lambda: ilu0(A),
+        "ILU(1)": lambda: iluk(A, 1),
+        "ILU(2)": lambda: iluk(A, 2),
+        "ILUT(5,1e-2)": lambda: ilut(A, 5, 1e-2),
+        "ILUT(10,1e-4)": lambda: ilut(A, 10, 1e-4),
+    }
+
+    rows = []
+    for name, M, fill in candidates:
+        if M is None:
+            f = factories[name]()
+            M = ILUPreconditioner(f)
+            fill = f.nnz
+        res = gmres(A, b, restart=20, tol=1e-8, M=M, maxiter=6000)
+        rows.append(
+            [
+                name,
+                fill,
+                res.num_matvec if res.converged else -res.num_matvec,
+                res.final_residual,
+            ]
+        )
+    print(
+        format_table(
+            ["preconditioner", "stored nnz", "NMV (<0: failed)", "final residual"],
+            rows,
+            title="GMRES(20), tol 1e-8 — fewer NMV is better",
+            floatfmt="{:.2e}",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

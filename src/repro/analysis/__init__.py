@@ -1,0 +1,22 @@
+"""Evaluation metrics (fill, speedup, MFlops) and paper-style table
+formatting for the benchmark harness."""
+
+from .metrics import (
+    efficiency,
+    fill_stats,
+    mflops,
+    preconditioned_residual_reduction,
+    relative_speedups,
+)
+from .report import factorization_label, format_series, format_table
+
+__all__ = [
+    "fill_stats",
+    "relative_speedups",
+    "efficiency",
+    "mflops",
+    "preconditioned_residual_reduction",
+    "format_table",
+    "format_series",
+    "factorization_label",
+]

@@ -1,0 +1,69 @@
+"""Metrics used by the evaluation: fill, speedup, efficiency, MFlop rates."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..ilu.factors import ILUFactors
+from ..sparse import CSRMatrix
+
+__all__ = [
+    "fill_stats",
+    "relative_speedups",
+    "efficiency",
+    "mflops",
+    "preconditioned_residual_reduction",
+]
+
+
+def fill_stats(A: CSRMatrix, factors: ILUFactors) -> dict:
+    """Fill statistics of a factorization relative to its matrix."""
+    n = A.shape[0]
+    l_nnz = factors.L.nnz
+    u_nnz = factors.U.nnz
+    return {
+        "n": n,
+        "nnz_A": A.nnz,
+        "nnz_L": l_nnz,
+        "nnz_U": u_nnz,
+        "fill_factor": (l_nnz + u_nnz) / max(A.nnz, 1),
+        "avg_row_nnz_L": l_nnz / max(n, 1),
+        "avg_row_nnz_U": u_nnz / max(n, 1),
+    }
+
+
+def relative_speedups(times: dict[int, float], base_p: int | None = None) -> dict[int, float]:
+    """Speedup of each processor count relative to the smallest (paper:
+    speedup relative to 16 processors)."""
+    if not times:
+        return {}
+    base_p = min(times) if base_p is None else base_p
+    base = times[base_p]
+    if base <= 0:
+        raise ValueError("base time must be positive")
+    return {p: base / t for p, t in sorted(times.items())}
+
+
+def efficiency(times: dict[int, float], base_p: int | None = None) -> dict[int, float]:
+    """Parallel efficiency relative to the base processor count."""
+    sp = relative_speedups(times, base_p)
+    base_p = min(times) if base_p is None else base_p
+    return {p: s * base_p / p for p, s in sp.items()}
+
+
+def mflops(flops: float, seconds: float, nranks: int = 1) -> float:
+    """Per-processor MFlop/s of an operation (paper §6 comparison)."""
+    if seconds <= 0:
+        return float("inf")
+    return flops / seconds / nranks / 1e6
+
+
+def preconditioned_residual_reduction(
+    A: CSRMatrix, factors: ILUFactors, b: np.ndarray
+) -> float:
+    """``||b - A M^{-1} b|| / ||b||`` — a cheap one-shot quality probe."""
+    b = np.asarray(b, dtype=np.float64)
+    y = factors.solve(b)
+    r = b - A @ y
+    nb = float(np.linalg.norm(b))
+    return float(np.linalg.norm(r)) / nb if nb > 0 else 0.0

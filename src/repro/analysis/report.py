@@ -1,0 +1,73 @@
+"""Paper-style plain-text table and series rendering.
+
+The benchmark harness prints the same rows the paper's tables report and
+the same series its figures plot; these helpers keep that formatting in
+one place.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["format_table", "format_series", "factorization_label"]
+
+
+def factorization_label(
+    algo: str, m: int, t: float, k: int | None = None
+) -> str:
+    """Render "ILUT(5,1e-02)" / "ILUT*(5,1e-02,2)" labels like the paper."""
+    if k is None:
+        return f"{algo}({m},{t:.0e})"
+    return f"{algo}({m},{t:.0e},{k})"
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    title: str | None = None,
+    floatfmt: str = "{:.4f}",
+) -> str:
+    """Fixed-width text table; floats use ``floatfmt``, the rest ``str``."""
+
+    def render(cell: object) -> str:
+        if isinstance(cell, float):
+            return floatfmt.format(cell)
+        return str(cell)
+
+    str_rows = [[render(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for j, cell in enumerate(row):
+            widths[j] = max(widths[j], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(sep))
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(
+            " | ".join(
+                cell.rjust(w) if _is_numeric(cell) else cell.ljust(w)
+                for cell, w in zip(row, widths)
+            )
+        )
+    return "\n".join(lines)
+
+
+def format_series(
+    name: str, xs: Sequence[object], ys: Sequence[float], *, yfmt: str = "{:.3f}"
+) -> str:
+    """One figure series as "name: x→y x→y ..." (figures print as series)."""
+    pts = " ".join(f"{x}→{yfmt.format(y)}" for x, y in zip(xs, ys))
+    return f"{name}: {pts}"
+
+
+def _is_numeric(s: str) -> bool:
+    try:
+        float(s.replace("→", "").replace("x", ""))
+        return True
+    except ValueError:
+        return False

@@ -1,0 +1,6 @@
+"""Domain decomposition: row-to-processor assignment, interior/interface
+classification and halo-exchange plans."""
+
+from .decomposition import DomainDecomposition, decompose
+
+__all__ = ["DomainDecomposition", "decompose"]

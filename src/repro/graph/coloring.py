@@ -1,0 +1,58 @@
+"""Greedy graph colouring.
+
+Colourings extract concurrency for **ILU(0)** (paper §3, Figure 1a):
+because the sparsity pattern never changes, a colouring of the interface
+graph computed once up front gives all the independent sets ``S_l``.
+This module provides the colouring used by the parallel ILU(0) baseline
+and by tests contrasting it with the dynamic MIS levels of ILUT.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .structure import Graph
+
+__all__ = ["greedy_coloring", "color_classes", "is_proper_coloring"]
+
+
+def greedy_coloring(graph: Graph, *, order: np.ndarray | None = None) -> np.ndarray:
+    """First-fit greedy colouring; returns a colour id per vertex.
+
+    With ``order=None`` vertices are coloured in descending-degree order
+    (Welsh-Powell), which tends to use fewer colours than natural order.
+    """
+    n = graph.nvertices
+    if order is None:
+        order = np.argsort(-graph.degrees(), kind="stable")
+    else:
+        order = np.asarray(order, dtype=np.int64)
+    colors = np.full(n, -1, dtype=np.int64)
+    for v in order:
+        nbrs = graph.adjncy[graph.xadj[v] : graph.xadj[v + 1]]
+        used = set(int(c) for c in colors[nbrs] if c >= 0)
+        c = 0
+        while c in used:
+            c += 1
+        colors[v] = c
+    return colors
+
+
+def color_classes(colors: np.ndarray) -> list[np.ndarray]:
+    """Group vertices by colour; classes are the ILU(0) level sets ``S_l``."""
+    colors = np.asarray(colors, dtype=np.int64)
+    if colors.size == 0:
+        return []
+    ncolors = int(colors.max()) + 1
+    return [np.flatnonzero(colors == c) for c in range(ncolors)]
+
+
+def is_proper_coloring(graph: Graph, colors: np.ndarray) -> bool:
+    """True iff no stored edge joins two vertices of the same colour."""
+    colors = np.asarray(colors, dtype=np.int64)
+    for v in range(graph.nvertices):
+        nbrs = graph.adjncy[graph.xadj[v] : graph.xadj[v + 1]]
+        nbrs = nbrs[nbrs != v]
+        if np.any(colors[nbrs] == colors[v]):
+            return False
+    return True

@@ -1,0 +1,62 @@
+"""Reverse Cuthill-McKee bandwidth-reducing ordering.
+
+A classic companion to the dissection/independent-set orderings: BFS
+from a pseudo-peripheral vertex, visiting neighbours in increasing
+degree, then reverse.  Reduces the bandwidth/profile of banded-ish
+matrices, which concentrates ILUT fill near the diagonal.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .structure import Graph, adjacency_from_matrix
+from .traversal import pseudo_peripheral_vertex
+
+__all__ = ["rcm_ordering", "rcm_ordering_matrix", "bandwidth"]
+
+
+def rcm_ordering(graph: Graph) -> np.ndarray:
+    """RCM permutation: ``perm[k]`` = vertex placed at position ``k``.
+
+    Handles disconnected graphs by restarting from a pseudo-peripheral
+    vertex of each unvisited component.
+    """
+    n = graph.nvertices
+    degrees = graph.degrees()
+    visited = np.zeros(n, dtype=bool)
+    order: list[int] = []
+    while len(order) < n:
+        mask = ~visited
+        start = pseudo_peripheral_vertex(
+            graph, start=int(np.flatnonzero(mask)[0]), mask=mask
+        )
+        queue = [start]
+        visited[start] = True
+        head = 0
+        while head < len(queue):
+            v = queue[head]
+            head += 1
+            order.append(v)
+            nbrs = [int(u) for u in graph.neighbors(v) if not visited[u]]
+            nbrs.sort(key=lambda u: (degrees[u], u))
+            for u in nbrs:
+                visited[u] = True
+                queue.append(u)
+    return np.asarray(order[::-1], dtype=np.int64)
+
+
+def rcm_ordering_matrix(A) -> np.ndarray:
+    """RCM permutation of a matrix's symmetrised adjacency graph."""
+    return rcm_ordering(adjacency_from_matrix(A, symmetric=True))
+
+
+def bandwidth(A) -> int:
+    """Matrix bandwidth ``max |i - j|`` over stored entries."""
+    n = A.shape[0]
+    bw = 0
+    for i in range(n):
+        cols, _ = A.row(i)
+        if cols.size:
+            bw = max(bw, int(np.abs(cols - i).max()))
+    return bw

@@ -1,0 +1,142 @@
+"""Vectorised level-scheduled application of triangular factors.
+
+The row-by-row triangular solves in :mod:`repro.sparse.ops` are the
+reference kernels; this module provides a *fast* applier that analyses
+the dependency levels of L and U once (the classic level-scheduling
+technique — the serial counterpart of the paper's §5 parallel solves)
+and then performs each application as a handful of vectorised
+gather/scatter operations per level.
+
+For factors produced by the parallel algorithm the level count is small
+(p interior chains + q interface levels), so repeated preconditioner
+applications inside GMRES become dramatically cheaper than the pure
+Python row loop.  For naturally-ordered banded factors the levels
+degenerate to chains and the gain disappears — which is, not
+coincidentally, the reason the paper reorders with independent sets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..sparse import CSRMatrix
+
+__all__ = ["LevelScheduledApplier", "triangular_levels"]
+
+
+def triangular_levels(M: CSRMatrix, *, lower: bool) -> np.ndarray:
+    """Dependency level of each row of a triangular matrix.
+
+    For a lower-triangular solve, row ``i`` depends on rows ``j < i``
+    with ``M[i, j] != 0``; its level is one more than the max level of
+    its dependencies (0 for independent rows).  For an upper solve the
+    dependencies are ``j > i`` and rows are processed back-to-front.
+    """
+    n = M.shape[0]
+    levels = np.zeros(n, dtype=np.int64)
+    if lower:
+        rng = range(n)
+    else:
+        rng = range(n - 1, -1, -1)
+    for i in rng:
+        cols, _ = M.row(i)
+        deps = cols[cols < i] if lower else cols[cols > i]
+        if deps.size:
+            levels[i] = int(levels[deps].max()) + 1
+    return levels
+
+
+class _TriangularSchedule:
+    """Flattened per-level gather/scatter plan for one triangular factor."""
+
+    def __init__(self, M: CSRMatrix, *, lower: bool, unit_diagonal: bool) -> None:
+        n = M.shape[0]
+        self.n = n
+        self.unit_diagonal = unit_diagonal
+        levels = triangular_levels(M, lower=lower)
+        nlevels = int(levels.max()) + 1 if n else 0
+        self.level_rows: list[np.ndarray] = [
+            np.flatnonzero(levels == l) for l in range(nlevels)
+        ]
+        # flattened off-diagonal entries grouped by level
+        self.entry_rows: list[np.ndarray] = []
+        self.entry_cols: list[np.ndarray] = []
+        self.entry_vals: list[np.ndarray] = []
+        self.diag = np.ones(n, dtype=np.float64)
+        for rows in self.level_rows:
+            er, ec, ev = [], [], []
+            for i in rows:
+                cols, vals = M.row(int(i))
+                if not unit_diagonal:
+                    on = cols == i
+                    if not np.any(on):
+                        raise ValueError(f"missing diagonal at row {i}")
+                    self.diag[i] = vals[on][0]
+                    off = ~on
+                    cols, vals = cols[off], vals[off]
+                if cols.size:
+                    er.append(np.full(cols.size, i, dtype=np.int64))
+                    ec.append(cols)
+                    ev.append(vals)
+            cat = lambda xs, dt: (  # noqa: E731
+                np.concatenate(xs) if xs else np.empty(0, dtype=dt)
+            )
+            self.entry_rows.append(cat(er, np.int64))
+            self.entry_cols.append(cat(ec, np.int64))
+            self.entry_vals.append(cat(ev, np.float64))
+        if not unit_diagonal and np.any(self.diag == 0.0):
+            raise ZeroDivisionError("zero pivot in triangular factor")
+
+    def solve(self, b: np.ndarray) -> np.ndarray:
+        x = np.asarray(b, dtype=np.float64).copy()
+        for rows, er, ec, ev in zip(
+            self.level_rows, self.entry_rows, self.entry_cols, self.entry_vals
+        ):
+            if er.size:
+                contrib = np.zeros(self.n)
+                np.add.at(contrib, er, ev * x[ec])
+                x[rows] -= contrib[rows]
+            if not self.unit_diagonal:
+                x[rows] /= self.diag[rows]
+        return x
+
+    @property
+    def num_levels(self) -> int:
+        return len(self.level_rows)
+
+
+class LevelScheduledApplier:
+    """Fast repeated application of ``M^{-1} = ((I+L) U)^{-1}``.
+
+    Build once from an :class:`~repro.ilu.factors.ILUFactors`; each
+    :meth:`apply` performs the permuted forward+backward solve with
+    vectorised level sweeps.  Numerically identical to
+    ``factors.solve`` (same operations, same order within rounding).
+    """
+
+    def __init__(self, factors) -> None:
+        self.perm = factors.perm
+        self._fwd = _TriangularSchedule(factors.L, lower=True, unit_diagonal=True)
+        self._bwd = _TriangularSchedule(factors.U, lower=False, unit_diagonal=False)
+        self.n = factors.n
+
+    def apply(self, b: np.ndarray) -> np.ndarray:
+        b = np.asarray(b, dtype=np.float64)
+        if b.shape != (self.n,):
+            raise ValueError(f"b has shape {b.shape}, expected ({self.n},)")
+        y = self._fwd.solve(b[self.perm])
+        z = self._bwd.solve(y)
+        out = np.empty_like(z)
+        out[self.perm] = z
+        return out
+
+    def __call__(self, b: np.ndarray) -> np.ndarray:
+        return self.apply(b)
+
+    @property
+    def forward_levels(self) -> int:
+        return self._fwd.num_levels
+
+    @property
+    def backward_levels(self) -> int:
+        return self._bwd.num_levels

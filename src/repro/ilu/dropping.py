@@ -1,0 +1,118 @@
+"""The ILUT dropping rules.
+
+ILUT(m, t) applies two rules (paper §2.1); the reduced-matrix
+elimination adds a third (paper §4, Algorithm 4.1); ILUT* modifies the
+third (paper §4.2).  They are centralised here so the sequential kernel,
+the interface elimination and the tests all share one implementation.
+
+* **1st rule** — during elimination, a computed multiplier ``w_k`` is
+  dropped if ``|w_k| < tau_i`` where ``tau_i = t * ||a_i||_2`` (the
+  relative tolerance of row ``i``).
+* **2nd rule** — after elimination of a row, drop all entries below
+  ``tau_i``, then keep only the ``m`` largest in the L part and the
+  ``m`` largest in the U part; the diagonal is always kept.
+* **3rd rule** — for a partially-eliminated interface row: the L part
+  (columns of already-factored nodes) is thresholded and capped at ``m``
+  like the 2nd rule; the reduced part (unfactored columns) is only
+  thresholded in ILUT, while ILUT*(m, t, k) additionally caps it at
+  ``k*m`` entries (the row's own diagonal always survives).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["keep_largest", "second_rule", "third_rule"]
+
+
+def keep_largest(
+    cols: np.ndarray, vals: np.ndarray, m: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Keep the ``m`` entries of largest magnitude, returned column-sorted.
+
+    Ties are broken toward lower column index (deterministic).
+    """
+    if m <= 0 or cols.size == 0:
+        return cols[:0], vals[:0]
+    if cols.size <= m:
+        order = np.argsort(cols, kind="stable")
+        return cols[order], vals[order]
+    # argsort by (-|v|, col) for deterministic selection
+    order = np.lexsort((cols, -np.abs(vals)))[:m]
+    sel = np.sort(cols[order])
+    # re-gather values in column order
+    pos = {int(c): float(v) for c, v in zip(cols, vals)}
+    return sel, np.asarray([pos[int(c)] for c in sel], dtype=np.float64)
+
+
+def second_rule(
+    cols: np.ndarray,
+    vals: np.ndarray,
+    i: int,
+    tau: float,
+    m: int,
+) -> tuple[tuple[np.ndarray, np.ndarray], float, tuple[np.ndarray, np.ndarray]]:
+    """Apply the 2nd dropping rule to a fully-eliminated row.
+
+    Returns ``((lcols, lvals), diag, (ucols, uvals))`` where the L part
+    has columns ``< i`` and the U part columns ``> i``; the diagonal is
+    kept regardless of magnitude.
+    """
+    cols = np.asarray(cols, dtype=np.int64)
+    vals = np.asarray(vals, dtype=np.float64)
+    diag = 0.0
+    on = cols == i
+    if np.any(on):
+        diag = float(vals[on][0])
+    big = np.abs(vals) >= tau
+    keep = big & ~on
+    kc, kv = cols[keep], vals[keep]
+    lmask = kc < i
+    lcols, lvals = keep_largest(kc[lmask], kv[lmask], m)
+    umask = kc > i
+    ucols, uvals = keep_largest(kc[umask], kv[umask], m)
+    return (lcols, lvals), diag, (ucols, uvals)
+
+
+def third_rule(
+    cols: np.ndarray,
+    vals: np.ndarray,
+    diag_col: int,
+    tau: float,
+    m: int,
+    *,
+    is_factored: np.ndarray,
+    reduced_cap: int | None = None,
+) -> tuple[tuple[np.ndarray, np.ndarray], tuple[np.ndarray, np.ndarray]]:
+    """Apply the 3rd dropping rule to a partially-eliminated row.
+
+    ``is_factored[c]`` says whether global column ``c`` corresponds to an
+    already-factored node.  Returns ``((lcols, lvals), (rcols, rvals))``:
+    the row's L part (factored columns, thresholded + capped at ``m``)
+    and its reduced-matrix part (unfactored columns, thresholded;
+    additionally capped at ``reduced_cap`` when given — that cap *is*
+    ILUT*).  The entry at ``diag_col`` (the row's own diagonal in the
+    reduced system) is always kept.
+    """
+    cols = np.asarray(cols, dtype=np.int64)
+    vals = np.asarray(vals, dtype=np.float64)
+    fact = is_factored[cols]
+    # ---- L part
+    lc, lv = cols[fact], vals[fact]
+    big = np.abs(lv) >= tau
+    lcols, lvals = keep_largest(lc[big], lv[big], m)
+    # ---- reduced part
+    rc, rv = cols[~fact], vals[~fact]
+    on = rc == diag_col
+    diag_val = float(rv[on][0]) if np.any(on) else 0.0
+    keep = (np.abs(rv) >= tau) & ~on
+    rc_k, rv_k = rc[keep], rv[keep]
+    if reduced_cap is not None:
+        cap = max(0, reduced_cap - 1)  # the diagonal occupies one slot
+        rc_k, rv_k = keep_largest(rc_k, rv_k, cap)
+    # re-insert the diagonal (always kept, even when structurally absent —
+    # the reduced row must carry its own pivot slot)
+    ins = np.searchsorted(rc_k, diag_col)
+    rc_k = np.insert(rc_k, ins, diag_col)
+    rv_k = np.insert(rv_k, ins, diag_val)
+    return (lcols, lvals), (rc_k, rv_k)

@@ -1,0 +1,592 @@
+"""The two-phase parallel ILUT/ILUT* elimination engine (paper §4).
+
+The engine executes the full parallel algorithm in *original* matrix
+indices, assigning elimination positions as it goes:
+
+Phase 1 (fully local, no communication)
+    Every rank ILUT-factors its **interior** rows (ascending original
+    index), then eliminates the factored interior unknowns from its
+    **interface** rows (Algorithm 4.1 with the interior block as the
+    eliminated set), leaving each interface row split into an L part
+    (columns of factored nodes) and a *reduced row* over interface
+    columns.  The union of reduced rows is the global reduced matrix
+    ``A_I``.
+
+Phase 2 (iterative, level-synchronised)
+    Repeat: compute a maximal independent set ``I_l`` of the current
+    reduced matrix with the two-step Luby algorithm; factor the rows of
+    ``I_l`` (independent — just apply the U-side dropping); eliminate
+    their unknowns from every remaining reduced row (Algorithm 4.1),
+    applying the 3rd dropping rule — ILUT keeps every reduced entry above
+    the relative threshold, ILUT*(m,t,k) caps the reduced row at ``k*m``
+    entries.  Rows of ``I_l`` owned by other ranks must be communicated;
+    since ``I_l`` is independent, the needed rows are known *before* any
+    computation — the property the paper exploits to make the exchange a
+    single aggregated message per rank pair per level.
+
+All communication and computation is charged to a
+:class:`~repro.machine.Simulator` when one is supplied; passing
+``sim=None`` executes the identical algorithm without cost accounting
+(used by tests to confirm the simulator never changes numerics).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..decomp import DomainDecomposition
+from ..graph import Graph, two_step_luby_mis
+from ..machine import Simulator
+from ..sparse import COOBuilder, SparseRowAccumulator
+from .dropping import keep_largest
+from .factors import ILUFactors, LevelStructure
+
+__all__ = ["EliminationEngine", "EliminationOutcome"]
+
+# modelled cost (in "operations") of copying one word while rebuilding a
+# reduced row — the data-movement overhead the paper attributes to ILUT's
+# dense reduced matrices.  Charged through the same flop-time channel.
+COPY_OPS_PER_WORD = 0.5
+# modelled cost of scanning one adjacency entry during a Luby MIS round
+MIS_OPS_PER_EDGE = 1.0
+
+
+def _merge_rows(
+    c1: np.ndarray, v1: np.ndarray, c2: np.ndarray, v2: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Sum-merge two sorted sparse rows."""
+    if c1.size == 0:
+        return c2.copy(), v2.copy()
+    if c2.size == 0:
+        return c1.copy(), v1.copy()
+    cols = np.concatenate([c1, c2])
+    vals = np.concatenate([v1, v2])
+    order = np.argsort(cols, kind="stable")
+    cols, vals = cols[order], vals[order]
+    uniq = np.empty(cols.size, dtype=bool)
+    uniq[0] = True
+    np.not_equal(cols[1:], cols[:-1], out=uniq[1:])
+    gid = np.cumsum(uniq) - 1
+    out_vals = np.zeros(int(gid[-1]) + 1, dtype=np.float64)
+    np.add.at(out_vals, gid, vals)
+    return cols[uniq], out_vals
+
+
+@dataclass
+class EliminationOutcome:
+    """Everything the engine produces besides the factors themselves."""
+
+    factors: ILUFactors
+    num_levels: int
+    level_sizes: list[int] = field(default_factory=list)
+    flops: float = 0.0
+    words_copied: float = 0.0
+    u_rows_communicated: int = 0
+
+
+class EliminationEngine:
+    """One full parallel ILUT(*) elimination over a decomposed matrix.
+
+    Parameters
+    ----------
+    decomp:
+        Row-to-rank assignment with interior/interface classification.
+    m, t:
+        The ILUT dual dropping parameters.
+    reduced_cap:
+        ``None`` → plain ILUT (reduced rows only thresholded);
+        an integer → ILUT*-style cap on reduced-row length (``k*m``).
+    sim:
+        Optional machine simulator to charge costs to.
+    mis_rounds:
+        Luby augmentation rounds per independent set (paper uses 5).
+    seed:
+        Seed for the per-level MIS randomness.
+    diag_guard:
+        Replace exactly-zero pivots with the row's relative tolerance.
+    """
+
+    def __init__(
+        self,
+        decomp: DomainDecomposition,
+        m: int,
+        t: float,
+        *,
+        reduced_cap: int | None = None,
+        sim: Simulator | None = None,
+        mis_rounds: int = 5,
+        seed: int = 0,
+        diag_guard: bool = True,
+        max_levels: int | None = None,
+    ) -> None:
+        if m < 0:
+            raise ValueError(f"m must be non-negative, got {m}")
+        if t < 0:
+            raise ValueError(f"t must be non-negative, got {t}")
+        if reduced_cap is not None and reduced_cap < 1:
+            raise ValueError(f"reduced_cap must be >= 1, got {reduced_cap}")
+        self.decomp = decomp
+        self.A = decomp.A
+        self.n = self.A.shape[0]
+        self.m = int(m)
+        self.t = float(t)
+        self.reduced_cap = reduced_cap
+        self.sim = sim
+        self.mis_rounds = int(mis_rounds)
+        self.seed = int(seed)
+        self.diag_guard = diag_guard
+        self.max_levels = max_levels if max_levels is not None else self.n + 1
+
+        self.norms = self.A.row_norms(ord=2)
+        self.pos = np.full(self.n, -1, dtype=np.int64)  # elimination position
+        self.order: list[int] = []  # original index per position
+        # U rows in original indices, diagonal first: orig -> (cols, vals)
+        self.u_rows: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        # accumulated L rows (factored columns): orig -> (cols, vals)
+        self.l_rows: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        # current reduced rows over unfactored interface columns
+        self.reduced: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        self.level_sizes: list[int] = []
+        self.flops_total = 0.0
+        self.words_copied = 0.0
+        self.u_rows_comm = 0
+        self._acc = SparseRowAccumulator(self.n)
+
+    # ------------------------------------------------------------------
+    # cost-charging helpers (no-ops without a simulator)
+    # ------------------------------------------------------------------
+
+    def _charge_ops(self, rank: int, ops: float) -> None:
+        self.flops_total += ops
+        if self.sim is not None:
+            self.sim.compute(rank, ops)
+
+    def _charge_copy(self, rank: int, words: float) -> None:
+        self.words_copied += words
+        if self.sim is not None:
+            self.sim.compute(rank, words * COPY_OPS_PER_WORD)
+
+    def _barrier(self) -> None:
+        if self.sim is not None:
+            self.sim.barrier()
+
+    # ------------------------------------------------------------------
+    # phase 1: interior factorization + interface reduction
+    # ------------------------------------------------------------------
+
+    def _tau(self, i: int) -> float:
+        return self.t * self.norms[i]
+
+    def _guard_diag(self, i: int, diag: float) -> float:
+        if diag != 0.0:
+            return diag
+        if not self.diag_guard:
+            raise ZeroDivisionError(f"zero pivot at row {i}")
+        tau = self._tau(i)
+        if tau > 0:
+            return tau
+        return self.norms[i] if self.norms[i] > 0 else 1.0
+
+    def _factor_interior_block(self, rank: int) -> None:
+        """ILUT over ``rank``'s interior rows in ascending original index.
+
+        Interior rows reference only local columns, so this is exactly
+        the sequential ILUT restricted to the block; interface columns
+        land in the U part (they are eliminated later).
+        """
+        interior = self.decomp.interior_rows(rank)
+        is_earlier = np.zeros(self.n, dtype=bool)  # factored-before-me mask
+        w = self._acc
+        for i_arr in interior:
+            i = int(i_arr)
+            cols, vals = self.A.row(i)
+            w.load(cols, vals)
+            tau = self._tau(i)
+            row_ops = 0
+            # pivots: interior nodes of this rank with smaller original index
+            heap = [int(c) for c in cols if is_earlier[c]]
+            heapq.heapify(heap)
+            done = -1
+            while heap:
+                k = heapq.heappop(heap)
+                if k <= done:
+                    continue
+                done = k
+                wk = w.get(k)
+                if wk == 0.0:
+                    continue
+                ucols, uvals = self.u_rows[k]
+                wk = wk / uvals[0]
+                row_ops += 1
+                if abs(wk) < tau:
+                    w.drop(k)
+                    continue
+                w.set(k, wk)
+                if ucols.size > 1:
+                    tail = ucols[1:]
+                    w.axpy(-wk, tail, uvals[1:])
+                    row_ops += 2 * int(tail.size)
+                    for c in tail:
+                        if is_earlier[c]:
+                            heapq.heappush(heap, int(c))
+            rcols, rvals = w.extract()
+            # 2nd rule with "lower" = factored-earlier, keyed via a rank
+            # trick: earlier columns are exactly those with is_earlier set.
+            lmask = is_earlier[rcols]
+            dmask = rcols == i
+            umask = ~lmask & ~dmask
+            big = np.abs(rvals) >= tau
+            lc, lv = keep_largest(rcols[lmask & big], rvals[lmask & big], self.m)
+            uc, uv = keep_largest(rcols[umask & big], rvals[umask & big], self.m)
+            diag = float(rvals[dmask][0]) if np.any(dmask) else 0.0
+            diag = self._guard_diag(i, diag)
+            self.l_rows[i] = (lc, lv)
+            # U row stored diag-first; tail sorted by column
+            self.u_rows[i] = (
+                np.concatenate(([i], uc)).astype(np.int64),
+                np.concatenate(([diag], uv)),
+            )
+            self.pos[i] = len(self.order)
+            self.order.append(i)
+            is_earlier[i] = True
+            w.reset()
+            self._charge_ops(rank, row_ops)
+
+    def _reduce_interface_rows(self, rank: int) -> None:
+        """Eliminate factored interior unknowns from ``rank``'s interface rows.
+
+        Algorithm 4.1 with the eliminated set = this rank's interior.
+        Interface rows reference only *local* interior nodes (a remote
+        interior node would have a cross-domain neighbour, contradiction),
+        so no communication is needed — the paper's phase-1 property.
+        """
+        w = self._acc
+        interior_mask = np.zeros(self.n, dtype=bool)
+        interior_mask[self.decomp.interior_rows(rank)] = True
+        for i_arr in self.decomp.interface_rows(rank):
+            i = int(i_arr)
+            cols, vals = self.A.row(i)
+            w.load(cols, vals)
+            tau = self._tau(i)
+            row_ops = 0
+            heap = [int(c) for c in cols if interior_mask[c]]
+            heapq.heapify(heap)
+            done = -1
+            while heap:
+                k = heapq.heappop(heap)
+                if k <= done:
+                    continue
+                done = k
+                wk = w.get(k)
+                if wk == 0.0:
+                    continue
+                ucols, uvals = self.u_rows[k]
+                wk = wk / uvals[0]
+                row_ops += 1
+                if abs(wk) < tau:
+                    w.drop(k)
+                    continue
+                w.set(k, wk)
+                if ucols.size > 1:
+                    tail = ucols[1:]
+                    w.axpy(-wk, tail, uvals[1:])
+                    row_ops += 2 * int(tail.size)
+                    for c in tail:
+                        if interior_mask[c]:
+                            heapq.heappush(heap, int(c))
+            rcols, rvals = w.extract()
+            # 3rd rule: L part = interior (factored) columns; reduced part =
+            # interface columns with the row's own diagonal always kept.
+            fact = interior_mask[rcols]
+            big = np.abs(rvals) >= tau
+            lc, lv = keep_largest(rcols[fact & big], rvals[fact & big], self.m)
+            rmask = ~fact
+            on = rcols == i
+            diag_val = float(rvals[on][0]) if np.any(on) else 0.0
+            keep = rmask & big & ~on
+            rc_k, rv_k = rcols[keep], rvals[keep]
+            if self.reduced_cap is not None:
+                rc_k, rv_k = keep_largest(rc_k, rv_k, max(0, self.reduced_cap - 1))
+            ins = int(np.searchsorted(rc_k, i))
+            rc_k = np.insert(rc_k, ins, i)
+            rv_k = np.insert(rv_k, ins, diag_val)
+            self.l_rows[i] = (lc, lv)
+            self.reduced[i] = (rc_k, rv_k)
+            w.reset()
+            self._charge_ops(rank, row_ops)
+            self._charge_copy(rank, float(rc_k.size + lc.size))
+
+    # ------------------------------------------------------------------
+    # phase 2: iterative independent-set factorization of A_I
+    # ------------------------------------------------------------------
+
+    def _remaining_nodes(self) -> np.ndarray:
+        return np.asarray(sorted(self.reduced.keys()), dtype=np.int64)
+
+    def _mis_of_reduced(self, remaining: np.ndarray, level: int) -> np.ndarray:
+        """Two-step Luby MIS on the *directed* structure of the reduced rows.
+
+        Builds a compact graph over the remaining nodes whose adjacency of
+        ``v`` is exactly the off-diagonal column set of ``v``'s reduced
+        row — the one-directional visibility the two-step algorithm is
+        designed for.  Charges per-round scan and boundary-exchange costs.
+        """
+        nloc = remaining.size
+        local_of = {int(g): idx for idx, g in enumerate(remaining)}
+        xadj = np.zeros(nloc + 1, dtype=np.int64)
+        adj_chunks: list[np.ndarray] = []
+        for idx, g in enumerate(remaining):
+            cols, _ = self.reduced[int(g)]
+            nb = cols[cols != g]
+            mapped = np.asarray([local_of[int(c)] for c in nb], dtype=np.int64)
+            adj_chunks.append(mapped)
+            xadj[idx + 1] = xadj[idx] + mapped.size
+        adjncy = (
+            np.concatenate(adj_chunks) if adj_chunks else np.empty(0, dtype=np.int64)
+        )
+        graph = Graph(xadj, adjncy)
+        mis_local = two_step_luby_mis(
+            graph, seed=self.seed + 1000 * (level + 1), rounds=self.mis_rounds
+        )
+        # cost model: each round scans every active adjacency entry once per
+        # step (two steps), plus a boundary key exchange and two barriers.
+        if self.sim is not None:
+            part = self.decomp.part
+            edges_per_rank = np.zeros(self.sim.nranks, dtype=np.float64)
+            boundary_words: dict[tuple[int, int], int] = {}
+            for idx, g in enumerate(remaining):
+                r = int(part[g])
+                deg = int(xadj[idx + 1] - xadj[idx])
+                edges_per_rank[r] += deg
+                for c in adjncy[xadj[idx] : xadj[idx + 1]]:
+                    s = int(part[remaining[c]])
+                    if s != r:
+                        boundary_words[(r, s)] = boundary_words.get((r, s), 0) + 1
+            for _ in range(self.mis_rounds):
+                for r in range(self.sim.nranks):
+                    self.sim.compute(r, 2.0 * MIS_OPS_PER_EDGE * edges_per_rank[r])
+                for (src, dst), cnt in sorted(boundary_words.items()):
+                    self.sim.send(src, dst, None, float(cnt), tag=("mis", level))
+                for (src, dst), _cnt in sorted(boundary_words.items()):
+                    self.sim.recv(dst, src, tag=("mis", level))
+                self.sim.barrier()
+                self.sim.barrier()  # the two-step insert/remove barrier pair
+        return remaining[mis_local]
+
+    def _factor_level(self, iset: np.ndarray) -> None:
+        """Factor the independent rows of ``I_l`` (U-side dropping only).
+
+        Every off-diagonal entry of an independent row's reduced row sits
+        at an unfactored column, i.e. in the U part — factoring is just
+        the 2nd rule's U side: threshold, then keep the ``m`` largest.
+        """
+        part = self.decomp.part
+        for i_arr in iset:
+            i = int(i_arr)
+            cols, vals = self.reduced.pop(i)
+            tau = self._tau(i)
+            on = cols == i
+            diag = float(vals[on][0]) if np.any(on) else 0.0
+            big = (np.abs(vals) >= tau) & ~on
+            uc, uv = keep_largest(cols[big], vals[big], self.m)
+            diag = self._guard_diag(i, diag)
+            self.u_rows[i] = (
+                np.concatenate(([i], uc)).astype(np.int64),
+                np.concatenate(([diag], uv)),
+            )
+            self.pos[i] = len(self.order)
+            self.order.append(i)
+            self._charge_ops(int(part[i]), float(cols.size))
+
+    def _exchange_level_rows(self, iset: np.ndarray, level: int) -> None:
+        """Charge the u-row exchange for this level.
+
+        Every remaining reduced row knows (before computing anything —
+        independence guarantees no new pivots appear) which rows of
+        ``I_l`` it eliminates against; rows owned elsewhere must be
+        received.  One aggregated message per (src, dst) rank pair.
+        """
+        if self.sim is None:
+            return
+        part = self.decomp.part
+        iset_mask = np.zeros(self.n, dtype=bool)
+        iset_mask[iset] = True
+        need: dict[tuple[int, int], set[int]] = {}
+        for i, (cols, _vals) in self.reduced.items():
+            r = int(part[i])
+            for k in cols[iset_mask[cols]]:
+                s = int(part[k])
+                if s != r:
+                    need.setdefault((s, r), set()).add(int(k))
+        for (src, dst), rows_needed in sorted(need.items()):
+            words = sum(
+                self.u_rows[k][0].size * 2.0 for k in rows_needed
+            )  # indices + values
+            self.sim.send(src, dst, None, words, tag=("urow", level))
+            self.u_rows_comm += len(rows_needed)
+        for (src, dst), _rows_needed in sorted(need.items()):
+            self.sim.recv(dst, src, tag=("urow", level))
+
+    def _update_remaining(self, iset: np.ndarray) -> None:
+        """Eliminate the ``I_l`` unknowns from every remaining reduced row.
+
+        Algorithm 4.1: a single pass over the pivots present in the row
+        (independence of ``I_l`` guarantees no new ``I_l`` entries are
+        created), then merge new multipliers into the L row and re-apply
+        the 3rd dropping rule.
+        """
+        part = self.decomp.part
+        iset_mask = np.zeros(self.n, dtype=bool)
+        iset_mask[iset] = True
+        w = self._acc
+        for i in sorted(self.reduced.keys()):
+            cols, vals = self.reduced[i]
+            pivots = cols[iset_mask[cols]]
+            if pivots.size == 0:
+                continue
+            tau = self._tau(i)
+            rank = int(part[i])
+            row_ops = 0
+            w.load(cols, vals)
+            new_l_cols: list[int] = []
+            new_l_vals: list[float] = []
+            for k_arr in pivots:
+                k = int(k_arr)
+                wk = w.get(k)
+                w.drop(k)
+                if wk == 0.0:
+                    continue
+                ucols, uvals = self.u_rows[k]
+                wk = wk / uvals[0]
+                row_ops += 1
+                if abs(wk) < tau:  # 1st dropping rule
+                    continue
+                new_l_cols.append(k)
+                new_l_vals.append(wk)
+                if ucols.size > 1:
+                    w.axpy(-wk, ucols[1:], uvals[1:])
+                    row_ops += 2 * int(ucols.size - 1)
+            rcols, rvals = w.extract()
+            w.reset()
+            # merge fresh multipliers into the accumulated L row, then the
+            # 3rd rule: threshold + keep-m on the whole factored part
+            lc_old, lv_old = self.l_rows.get(i, (np.empty(0, np.int64), np.empty(0)))
+            lc_new = np.asarray(new_l_cols, dtype=np.int64)
+            lv_new = np.asarray(new_l_vals, dtype=np.float64)
+            order_ = np.argsort(lc_new, kind="stable")
+            lc_m, lv_m = _merge_rows(lc_old, lv_old, lc_new[order_], lv_new[order_])
+            big = np.abs(lv_m) >= tau
+            lc_m, lv_m = keep_largest(lc_m[big], lv_m[big], self.m)
+            self.l_rows[i] = (lc_m, lv_m)
+            # 3rd rule on the reduced part (diagonal always kept)
+            on = rcols == i
+            diag_val = float(rvals[on][0]) if np.any(on) else 0.0
+            keep = (np.abs(rvals) >= tau) & ~on
+            rc_k, rv_k = rcols[keep], rvals[keep]
+            if self.reduced_cap is not None:
+                rc_k, rv_k = keep_largest(rc_k, rv_k, max(0, self.reduced_cap - 1))
+            ins = int(np.searchsorted(rc_k, i))
+            rc_k = np.insert(rc_k, ins, i)
+            rv_k = np.insert(rv_k, ins, diag_val)
+            self.reduced[i] = (rc_k, rv_k)
+            self._charge_ops(rank, row_ops)
+            self._charge_copy(rank, float(rc_k.size + lc_m.size))
+
+    # ------------------------------------------------------------------
+    # driver
+    # ------------------------------------------------------------------
+
+    def run(self) -> EliminationOutcome:
+        """Execute phases 1 and 2 and assemble the permuted factors."""
+        nranks = self.decomp.nranks
+        interior_ranges: list[tuple[int, int]] = []
+        for r in range(nranks):
+            start = len(self.order)
+            self._factor_interior_block(r)
+            interior_ranges.append((start, len(self.order)))
+        for r in range(nranks):
+            self._reduce_interface_rows(r)
+        self._barrier()  # end of phase 1
+
+        interface_levels: list[np.ndarray] = []
+        level = 0
+        while self.reduced:
+            if level >= self.max_levels:
+                raise RuntimeError(
+                    f"interface factorization did not terminate in {level} levels"
+                )
+            remaining = self._remaining_nodes()
+            iset = self._mis_of_reduced(remaining, level)
+            if iset.size == 0:
+                raise RuntimeError("empty independent set — cannot make progress")
+            pos_start = len(self.order)
+            self._factor_level(iset)
+            self._exchange_level_rows(iset, level)
+            self._update_remaining(iset)
+            interface_levels.append(
+                np.arange(pos_start, len(self.order), dtype=np.int64)
+            )
+            self.level_sizes.append(int(iset.size))
+            self._barrier()
+            level += 1
+
+        factors = self._assemble(interior_ranges, interface_levels)
+        return EliminationOutcome(
+            factors=factors,
+            num_levels=level,
+            level_sizes=self.level_sizes,
+            flops=self.flops_total,
+            words_copied=self.words_copied,
+            u_rows_communicated=self.u_rows_comm,
+        )
+
+    def _assemble(
+        self,
+        interior_ranges: list[tuple[int, int]],
+        interface_levels: list[np.ndarray],
+    ) -> ILUFactors:
+        """Map original-index rows to the elimination ordering and build CSR."""
+        n = self.n
+        perm = np.asarray(self.order, dtype=np.int64)
+        if perm.size != n:
+            raise AssertionError(
+                f"elimination covered {perm.size} of {n} rows"
+            )
+        posmap = self.pos
+        l_builder = COOBuilder(n)
+        u_builder = COOBuilder(n)
+        for i in range(n):
+            p = int(posmap[i])
+            lc, lv = self.l_rows.get(i, (np.empty(0, np.int64), np.empty(0)))
+            if lc.size:
+                l_builder.add_batch(
+                    np.full(lc.size, p, dtype=np.int64), posmap[lc], lv
+                )
+            uc, uv = self.u_rows[i]
+            u_builder.add_batch(np.full(uc.size, p, dtype=np.int64), posmap[uc], uv)
+        L = l_builder.to_csr()
+        U = u_builder.to_csr()
+        owner = self.decomp.part[perm]
+        levels = LevelStructure(
+            interior_ranges=interior_ranges,
+            interface_levels=interface_levels,
+            owner=owner,
+        )
+        levels.validate(n)
+        return ILUFactors(
+            L=L,
+            U=U,
+            perm=perm,
+            levels=levels,
+            stats={
+                "m": self.m,
+                "t": self.t,
+                "reduced_cap": self.reduced_cap,
+                "flops": self.flops_total,
+                "words_copied": self.words_copied,
+                "num_levels": len(interface_levels),
+            },
+        )

@@ -1,0 +1,332 @@
+"""Alternative interface factorization via recursive partitioning (paper §7).
+
+The paper's conclusions sketch a future-work formulation for *dense*
+factorizations, where independent sets become tiny: instead of MIS
+levels, compute a p-way partitioning of the interface graph ``A_I``,
+factor the rows *internal* to each interface-domain concurrently (they
+only depend on same-domain rows), form the second-level reduced matrix
+over the new (much smaller) interface, and recurse.
+
+This module implements that scheme as
+:class:`InterfacePartitionEngine`, a drop-in replacement for the phase-2
+loop of :class:`~repro.ilu.elimination.EliminationEngine`.  Each
+recursion round contributes **one** synchronisation level regardless of
+how many rows it factors — trading MIS's fine-grained concurrency for
+far fewer synchronisations, exactly the trade §7 anticipates for slow
+networks.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from ..graph import Graph
+from ..partition import partition_graph_kway
+from .dropping import keep_largest
+from .elimination import EliminationEngine, EliminationOutcome, _merge_rows
+
+__all__ = ["InterfacePartitionEngine", "parallel_ilut_partitioned"]
+
+
+class InterfacePartitionEngine(EliminationEngine):
+    """Two-phase ILUT with partition-based interface factorization.
+
+    Phase 1 is inherited unchanged.  Phase 2 repeats: partition the
+    symmetrised structure of the remaining reduced matrix into (up to)
+    ``nranks`` interface-domains; concurrently factor each domain's
+    internal rows (sequentially within the domain, respecting intra-
+    domain dependencies); reduce the new interface rows; recurse.  When
+    the remainder is small or fully coupled, one rank factors it
+    sequentially.
+    """
+
+    #: remaining-node count below which the tail is factored sequentially
+    SEQUENTIAL_CUTOFF = 24
+
+    def run(self) -> EliminationOutcome:
+        nranks = self.decomp.nranks
+        interior_ranges: list[tuple[int, int]] = []
+        for r in range(nranks):
+            start = len(self.order)
+            self._factor_interior_block(r)
+            interior_ranges.append((start, len(self.order)))
+        for r in range(nranks):
+            self._reduce_interface_rows(r)
+        self._barrier()
+
+        interface_levels: list[np.ndarray] = []
+        rounds = 0
+        while self.reduced:
+            if rounds >= self.max_levels:
+                raise RuntimeError(
+                    f"interface factorization did not terminate in {rounds} rounds"
+                )
+            remaining = self._remaining_nodes()
+            pos_start = len(self.order)
+            if remaining.size <= self.SEQUENTIAL_CUTOFF:
+                self._factor_domain(remaining, rank=int(self.decomp.part[remaining[0]]))
+            else:
+                domains = self._split_interface(remaining)
+                internal_total = sum(d.size for d in domains)
+                if internal_total == 0:
+                    # fully coupled: no concurrency extractable, finish serially
+                    self._factor_domain(
+                        remaining, rank=int(self.decomp.part[remaining[0]])
+                    )
+                else:
+                    for dom_rank, dom in enumerate(domains):
+                        if dom.size:
+                            self._factor_domain(dom, rank=dom_rank % nranks)
+                    factored_round = np.concatenate(
+                        [d for d in domains if d.size]
+                    )
+                    self._reduce_against(factored_round)
+            interface_levels.append(
+                np.arange(pos_start, len(self.order), dtype=np.int64)
+            )
+            self.level_sizes.append(len(self.order) - pos_start)
+            self._barrier()
+            rounds += 1
+
+        factors = self._assemble(interior_ranges, interface_levels)
+        return EliminationOutcome(
+            factors=factors,
+            num_levels=rounds,
+            level_sizes=self.level_sizes,
+            flops=self.flops_total,
+            words_copied=self.words_copied,
+            u_rows_communicated=self.u_rows_comm,
+        )
+
+    # ------------------------------------------------------------------
+
+    def _split_interface(self, remaining: np.ndarray) -> list[np.ndarray]:
+        """Partition the remaining reduced graph; return per-domain
+        *internal* node arrays (nodes with no cross-domain coupling)."""
+        nloc = remaining.size
+        local_of = {int(g): idx for idx, g in enumerate(remaining)}
+        # symmetrised structure of the reduced matrix
+        edges: set[tuple[int, int]] = set()
+        for idx, g in enumerate(remaining):
+            cols, _ = self.reduced[int(g)]
+            for c in cols:
+                if int(c) != int(g):
+                    j = local_of[int(c)]
+                    edges.add((idx, j))
+                    edges.add((j, idx))
+        if edges:
+            arr = np.asarray(sorted(edges), dtype=np.int64)
+            from ..sparse import CSRMatrix
+
+            S = CSRMatrix.from_coo(
+                arr[:, 0], arr[:, 1], np.ones(arr.shape[0]), (nloc, nloc)
+            )
+            graph = Graph(S.indptr, S.indices)
+        else:
+            graph = Graph(np.zeros(nloc + 1, dtype=np.int64), np.empty(0, np.int64))
+        nparts = min(self.decomp.nranks, max(2, nloc // 8))
+        res = partition_graph_kway(graph, nparts, seed=self.seed + 7)
+        part = res.part
+        internal: list[list[int]] = [[] for _ in range(nparts)]
+        for idx in range(nloc):
+            nbrs = graph.adjncy[graph.xadj[idx] : graph.xadj[idx + 1]]
+            if nbrs.size == 0 or np.all(part[nbrs] == part[idx]):
+                internal[part[idx]].append(int(remaining[idx]))
+        return [np.asarray(sorted(d), dtype=np.int64) for d in internal]
+
+    def _factor_domain(self, nodes: np.ndarray, rank: int) -> None:
+        """Sequentially factor ``nodes`` (ascending), respecting
+        intra-domain dependencies; charge all work to ``rank``."""
+        in_round: dict[int, bool] = {int(v): True for v in nodes}
+        for i_arr in nodes:
+            i = int(i_arr)
+            cols, vals = self.reduced.pop(i)
+            tau = self._tau(i)
+            row_ops = 0
+            w = self._acc
+            w.load(cols, vals)
+            # pivots: same-round nodes already factored, by elimination order
+            heap = [
+                (int(self.pos[c]), int(c))
+                for c in cols
+                if in_round.get(int(c), False) and self.pos[c] >= 0
+            ]
+            heapq.heapify(heap)
+            done_pos = -1
+            new_l_cols: list[int] = []
+            new_l_vals: list[float] = []
+            while heap:
+                pk, k = heapq.heappop(heap)
+                if pk <= done_pos:
+                    continue
+                done_pos = pk
+                wk = w.get(k)
+                w.drop(k)
+                if wk == 0.0:
+                    continue
+                ucols, uvals = self.u_rows[k]
+                wk = wk / uvals[0]
+                row_ops += 1
+                if abs(wk) < tau:
+                    continue
+                new_l_cols.append(k)
+                new_l_vals.append(wk)
+                if ucols.size > 1:
+                    w.axpy(-wk, ucols[1:], uvals[1:])
+                    row_ops += 2 * int(ucols.size - 1)
+                    for c in ucols[1:]:
+                        if in_round.get(int(c), False) and self.pos[c] >= 0:
+                            heapq.heappush(heap, (int(self.pos[c]), int(c)))
+            rcols, rvals = w.extract()
+            w.reset()
+            # merge this round's multipliers into the L row (3rd rule)
+            lc_old, lv_old = self.l_rows.get(i, (np.empty(0, np.int64), np.empty(0)))
+            lc_new = np.asarray(new_l_cols, dtype=np.int64)
+            lv_new = np.asarray(new_l_vals, dtype=np.float64)
+            order_ = np.argsort(lc_new, kind="stable")
+            lc_m, lv_m = _merge_rows(lc_old, lv_old, lc_new[order_], lv_new[order_])
+            big = np.abs(lv_m) >= tau
+            lc_m, lv_m = keep_largest(lc_m[big], lv_m[big], self.m)
+            if lc_m.size:
+                self.l_rows[i] = (lc_m, lv_m)
+            # U part: everything left (all unfactored columns)
+            on = rcols == i
+            diag = float(rvals[on][0]) if np.any(on) else 0.0
+            big_u = (np.abs(rvals) >= tau) & ~on
+            # already-factored same-round columns were consumed as pivots
+            uc, uv = keep_largest(rcols[big_u], rvals[big_u], self.m)
+            diag = self._guard_diag(i, diag)
+            self.u_rows[i] = (
+                np.concatenate(([i], uc)).astype(np.int64),
+                np.concatenate(([diag], uv)),
+            )
+            self.pos[i] = len(self.order)
+            self.order.append(i)
+            self._charge_ops(rank, row_ops + float(rcols.size))
+
+    def _reduce_against(self, factored: np.ndarray) -> None:
+        """Eliminate this round's factored unknowns from remaining rows."""
+        part = self.decomp.part
+        fmask = np.zeros(self.n, dtype=bool)
+        fmask[factored] = True
+        # u-row exchange: determined from the pre-update reduced rows
+        # (only first-order needs; fill-induced needs are charged as they
+        # share the same aggregated messages)
+        if self.sim is not None:
+            need: dict[tuple[int, int], set[int]] = {}
+            for i, (cols, _v) in self.reduced.items():
+                r = int(part[i])
+                for k in cols[fmask[cols]]:
+                    s = int(part[k])
+                    if s != r:
+                        need.setdefault((s, r), set()).add(int(k))
+            for (src, dst), rows_needed in sorted(need.items()):
+                words = sum(self.u_rows[k][0].size * 2.0 for k in rows_needed)
+                self.sim.send(src, dst, None, words, tag="ipart")
+                self.u_rows_comm += len(rows_needed)
+            for (src, dst), _rows in sorted(need.items()):
+                self.sim.recv(dst, src, tag="ipart")
+        w = self._acc
+        for i in sorted(self.reduced.keys()):
+            cols, vals = self.reduced[i]
+            if not np.any(fmask[cols]):
+                continue
+            tau = self._tau(i)
+            rank = int(part[i])
+            row_ops = 0
+            w.load(cols, vals)
+            heap = [(int(self.pos[c]), int(c)) for c in cols if fmask[c]]
+            heapq.heapify(heap)
+            done_pos = -1
+            new_l_cols: list[int] = []
+            new_l_vals: list[float] = []
+            while heap:
+                pk, k = heapq.heappop(heap)
+                if pk <= done_pos:
+                    continue
+                done_pos = pk
+                wk = w.get(k)
+                w.drop(k)
+                if wk == 0.0:
+                    continue
+                ucols, uvals = self.u_rows[k]
+                wk = wk / uvals[0]
+                row_ops += 1
+                if abs(wk) < tau:
+                    continue
+                new_l_cols.append(k)
+                new_l_vals.append(wk)
+                if ucols.size > 1:
+                    w.axpy(-wk, ucols[1:], uvals[1:])
+                    row_ops += 2 * int(ucols.size - 1)
+                    for c in ucols[1:]:
+                        if fmask[c]:
+                            heapq.heappush(heap, (int(self.pos[c]), int(c)))
+            rcols, rvals = w.extract()
+            w.reset()
+            lc_old, lv_old = self.l_rows.get(i, (np.empty(0, np.int64), np.empty(0)))
+            lc_new = np.asarray(new_l_cols, dtype=np.int64)
+            lv_new = np.asarray(new_l_vals, dtype=np.float64)
+            order_ = np.argsort(lc_new, kind="stable")
+            lc_m, lv_m = _merge_rows(lc_old, lv_old, lc_new[order_], lv_new[order_])
+            big = np.abs(lv_m) >= tau
+            lc_m, lv_m = keep_largest(lc_m[big], lv_m[big], self.m)
+            self.l_rows[i] = (lc_m, lv_m)
+            on = rcols == i
+            diag_val = float(rvals[on][0]) if np.any(on) else 0.0
+            keep = (np.abs(rvals) >= tau) & ~on & ~fmask[rcols]
+            rc_k, rv_k = rcols[keep], rvals[keep]
+            if self.reduced_cap is not None:
+                rc_k, rv_k = keep_largest(rc_k, rv_k, max(0, self.reduced_cap - 1))
+            ins = int(np.searchsorted(rc_k, i))
+            rc_k = np.insert(rc_k, ins, i)
+            rv_k = np.insert(rv_k, ins, diag_val)
+            self.reduced[i] = (rc_k, rv_k)
+            self._charge_ops(rank, row_ops)
+            self._charge_copy(rank, float(rc_k.size + lc_m.size))
+
+
+def parallel_ilut_partitioned(
+    A,
+    m: int,
+    t: float,
+    nranks: int,
+    *,
+    reduced_cap: int | None = None,
+    simulate: bool = True,
+    seed: int = 0,
+    **kwargs,
+):
+    """Parallel ILUT with the §7 partition-based interface factorization.
+
+    Same signature spirit as :func:`repro.ilu.parallel.parallel_ilut`;
+    returns a :class:`~repro.ilu.parallel.ParallelILUResult`.
+    """
+    from ..decomp import decompose
+    from ..machine import CRAY_T3D, Simulator
+    from .parallel import ParallelILUResult
+
+    model = kwargs.pop("model", CRAY_T3D)
+    decomp = kwargs.pop("decomp", None)
+    method = kwargs.pop("method", "multilevel")
+    if kwargs:
+        raise TypeError(f"unexpected keyword arguments: {sorted(kwargs)}")
+    if decomp is None:
+        decomp = decompose(A, nranks, method=method, seed=seed)
+    sim = Simulator(nranks, model) if simulate else None
+    engine = InterfacePartitionEngine(
+        decomp, m, t, reduced_cap=reduced_cap, sim=sim, seed=seed
+    )
+    outcome = engine.run()
+    return ParallelILUResult(
+        factors=outcome.factors,
+        decomp=decomp,
+        num_levels=outcome.num_levels,
+        level_sizes=outcome.level_sizes,
+        modeled_time=sim.elapsed() if sim is not None else None,
+        comm=sim.stats() if sim is not None else None,
+        flops=outcome.flops,
+        words_copied=outcome.words_copied,
+    )

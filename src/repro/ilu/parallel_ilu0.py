@@ -1,0 +1,229 @@
+"""Parallel ILU(0) via static colouring (paper §3, Figure 1a).
+
+ILU(0) never creates fill, so the sparsity structure of every reduced
+matrix is known before any numerics: a single greedy colouring of the
+interface graph yields all the level sets ``S_l`` up front.  This module
+implements that formulation — the foil against which the paper's
+dynamic-MIS ILUT algorithm is defined — using the same two-phase
+ordering and the same simulator cost accounting, so the two can be
+compared level-for-level (see ``benchmarks/bench_ablation_ilu0.py``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..decomp import DomainDecomposition, decompose
+from ..graph import Graph, color_classes, greedy_coloring
+from ..machine import CRAY_T3D, MachineModel, Simulator
+from ..sparse import COOBuilder, CSRMatrix, SparseRowAccumulator
+from .factors import ILUFactors, LevelStructure
+from .parallel import ParallelILUResult
+
+__all__ = ["parallel_ilu0"]
+
+
+def _interface_coloring(decomp: DomainDecomposition) -> list[np.ndarray]:
+    """Colour classes of the interface subgraph (original indices)."""
+    iface = decomp.all_interface
+    if iface.size == 0:
+        return []
+    local_of = np.full(decomp.A.shape[0], -1, dtype=np.int64)
+    local_of[iface] = np.arange(iface.size)
+    xadj = np.zeros(iface.size + 1, dtype=np.int64)
+    chunks = []
+    for idx, v in enumerate(iface):
+        nbrs = decomp.graph.neighbors(int(v))
+        mapped = local_of[nbrs]
+        mapped = mapped[mapped >= 0]
+        chunks.append(mapped)
+        xadj[idx + 1] = xadj[idx] + mapped.size
+    adjncy = np.concatenate(chunks) if chunks else np.empty(0, dtype=np.int64)
+    g = Graph(xadj, adjncy)
+    classes = color_classes(greedy_coloring(g))
+    return [iface[c] for c in classes]
+
+
+def parallel_ilu0(
+    A: CSRMatrix,
+    nranks: int,
+    *,
+    model: MachineModel = CRAY_T3D,
+    simulate: bool = True,
+    decomp: DomainDecomposition | None = None,
+    method: str = "multilevel",
+    seed: int = 0,
+    diag_guard: bool = True,
+) -> ParallelILUResult:
+    """Zero-fill incomplete factorization on the simulated machine.
+
+    Same two-phase schedule as :func:`~repro.ilu.parallel.parallel_ilut`
+    (interior blocks, then interface levels), but the interface levels
+    are the colour classes of the interface graph, computed *before* the
+    numeric factorization — the concurrency structure ILU(0) admits and
+    ILUT does not.
+    """
+    if decomp is None:
+        decomp = decompose(A, nranks, method=method, seed=seed)
+    elif decomp.nranks != nranks:
+        raise ValueError(
+            f"decomp has {decomp.nranks} ranks but nranks={nranks} was requested"
+        )
+    sim = Simulator(nranks, model) if simulate else None
+    n = A.shape[0]
+    part = decomp.part
+
+    # elimination order: interiors per rank, then interface colour classes
+    order_chunks: list[np.ndarray] = []
+    interior_ranges: list[tuple[int, int]] = []
+    start = 0
+    for r in range(nranks):
+        rows = decomp.interior_rows(r)
+        order_chunks.append(rows)
+        interior_ranges.append((start, start + rows.size))
+        start += rows.size
+    classes = _interface_coloring(decomp)
+    interface_levels: list[np.ndarray] = []
+    for cls in classes:
+        interface_levels.append(np.arange(start, start + cls.size, dtype=np.int64))
+        order_chunks.append(cls)
+        start += cls.size
+    perm = (
+        np.concatenate(order_chunks) if order_chunks else np.empty(0, dtype=np.int64)
+    )
+    pos = np.empty(n, dtype=np.int64)
+    pos[perm] = np.arange(n, dtype=np.int64)
+
+    # numeric factorization in that order, zero-fill
+    norms = A.row_norms(ord=2)
+    w = SparseRowAccumulator(n)
+    u_rows: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+    l_builder = COOBuilder(n)
+    u_builder = COOBuilder(n)
+    in_pattern = np.zeros(n, dtype=bool)
+
+    def factor_row(i: int) -> float:
+        cols, vals = A.row(i)
+        w.load(cols, vals)
+        in_pattern[cols] = True
+        ops = 0.0
+        pivots = sorted(
+            (int(pos[c]), int(c)) for c in cols if pos[c] < pos[i]
+        )
+        for _, k in pivots:
+            wk = w.get(k)
+            if wk == 0.0:
+                continue
+            ucols, uvals = u_rows[k]
+            wk = wk / uvals[0]
+            ops += 1
+            w.set(k, wk)
+            if ucols.size > 1:
+                tail = ucols[1:]
+                keep = in_pattern[tail]
+                if np.any(keep):
+                    w.axpy(-wk, tail[keep], uvals[1:][keep])
+                    ops += 2.0 * keep.sum()
+        rcols, rvals = w.extract()
+        lmask = pos[rcols] < pos[i]
+        dmask = rcols == i
+        umask = ~lmask & ~dmask
+        diag = float(rvals[dmask][0]) if np.any(dmask) else 0.0
+        if diag == 0.0:
+            if not diag_guard:
+                raise ZeroDivisionError(f"zero pivot at row {i}")
+            diag = norms[i] if norms[i] > 0 else 1.0
+        p_i = int(pos[i])
+        if np.any(lmask):
+            l_builder.add_batch(
+                np.full(int(lmask.sum()), p_i, dtype=np.int64),
+                pos[rcols[lmask]],
+                rvals[lmask],
+            )
+        u_builder.add(p_i, p_i, diag)
+        if np.any(umask):
+            u_builder.add_batch(
+                np.full(int(umask.sum()), p_i, dtype=np.int64),
+                pos[rcols[umask]],
+                rvals[umask],
+            )
+        uc = rcols[umask]
+        uo = np.argsort(pos[uc], kind="stable")  # by elimination position
+        u_rows[i] = (
+            np.concatenate(([i], uc[uo])).astype(np.int64),
+            np.concatenate(([diag], rvals[umask][uo])),
+        )
+        in_pattern[cols] = False
+        w.reset()
+        return ops
+
+    # phase 1: interiors (independent blocks) + interface prep rows local
+    for r in range(nranks):
+        ops = 0.0
+        for i in decomp.interior_rows(r):
+            ops += factor_row(int(i))
+        if sim is not None:
+            sim.compute(r, ops)
+    if sim is not None:
+        sim.barrier()
+
+    # phase 2: colour classes in order; u-row exchange per class
+    for lvl_idx, cls in enumerate(classes):
+        if sim is not None:
+            cls_mask = np.zeros(n, dtype=bool)
+            cls_mask[cls] = True
+        per_rank_ops: dict[int, float] = {}
+        # comm: remaining rows need u_k of earlier classes — but within a
+        # class, rows only need *already factored* rows, known statically:
+        # rows of this class reference factored interface rows of earlier
+        # classes on other ranks.  Charge the per-class exchange.
+        if sim is not None:
+            need: dict[tuple[int, int], float] = {}
+            for i in cls:
+                r = int(part[i])
+                cols, _ = A.row(int(i))
+                for c in cols:
+                    if pos[c] < pos[i] and decomp.is_interface[c]:
+                        s = int(part[c])
+                        if s != r:
+                            nw = u_rows[int(c)][0].size * 2.0 if int(c) in u_rows else 2.0
+                            need[(s, r)] = need.get((s, r), 0.0) + nw
+            for (src, dst), words in sorted(need.items()):
+                sim.send(src, dst, None, words, tag=("ilu0", lvl_idx))
+            for (src, dst), _words in sorted(need.items()):
+                sim.recv(dst, src, tag=("ilu0", lvl_idx))
+        for i in cls:
+            ops = factor_row(int(i))
+            r = int(part[i])
+            per_rank_ops[r] = per_rank_ops.get(r, 0.0) + ops
+        if sim is not None:
+            for r, ops in sorted(per_rank_ops.items()):
+                sim.compute(r, ops)
+            sim.barrier()
+
+    L = l_builder.to_csr()
+    U = u_builder.to_csr()
+    owner = part[perm]
+    levels = LevelStructure(
+        interior_ranges=interior_ranges,
+        interface_levels=interface_levels,
+        owner=owner,
+    )
+    levels.validate(n)
+    factors = ILUFactors(
+        L=L,
+        U=U,
+        perm=perm,
+        levels=levels,
+        stats={"algo": "parallel-ilu0", "num_levels": len(interface_levels)},
+    )
+    return ParallelILUResult(
+        factors=factors,
+        decomp=decomp,
+        num_levels=len(interface_levels),
+        level_sizes=[int(c.size) for c in classes],
+        modeled_time=sim.elapsed() if sim is not None else None,
+        comm=sim.stats() if sim is not None else None,
+        flops=0.0 if sim is None else sim.stats().total_flops,
+        words_copied=0.0,
+    )

@@ -1,0 +1,197 @@
+"""Parallel forward/backward substitution (paper §5).
+
+The application of the preconditioner — solving ``(I+L) y = b`` then
+``U x = y`` — reuses the exact structure the parallel factorization
+imposed (Figure 3):
+
+* **forward**: each rank solves its interior block concurrently (the
+  interior L blocks are mutually independent), then the interface
+  levels are swept in factorization order; after each level the freshly
+  computed ``x`` values are sent to the ranks whose later rows reference
+  them, and a barrier separates the levels (the ``q`` implicit
+  synchronisation points of the paper);
+* **backward**: the same in reverse — interface levels last-to-first,
+  then the interior blocks.
+
+The communicated volume is proportional to the number of interface
+nodes (like a matvec); what distinguishes it from the matvec is the
+``q`` level synchronisations, which is why ILUT* (smaller ``q``)
+produces cheaper triangular solves — the effect Table 2 and Figure 6
+measure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..machine import CRAY_T3D, CommStats, MachineModel, Simulator
+from .factors import ILUFactors
+
+__all__ = ["TriangularSolveResult", "parallel_triangular_solve"]
+
+
+@dataclass
+class TriangularSolveResult:
+    """Solution of one forward+backward substitution on the simulator."""
+
+    x: np.ndarray
+    modeled_time: float | None
+    comm: CommStats | None
+    flops: float
+
+
+def _cross_rank_receivers(
+    M_csc_like: dict[int, set[int]],
+    owner: np.ndarray,
+    positions: np.ndarray,
+) -> dict[tuple[int, int], int]:
+    """Words each (src, dst) rank pair exchanges for the given level.
+
+    ``M_csc_like[p]`` is the set of ranks owning rows that reference
+    column position ``p``.
+    """
+    words: dict[tuple[int, int], int] = {}
+    for p in positions:
+        src = int(owner[p])
+        for dst in M_csc_like.get(int(p), ()):  # ranks needing x[p]
+            if dst != src:
+                key = (src, dst)
+                words[key] = words.get(key, 0) + 1
+    return words
+
+
+def _column_consumers(M, owner: np.ndarray) -> dict[int, set[int]]:
+    """For each column position, the ranks owning rows that reference it."""
+    consumers: dict[int, set[int]] = {}
+    nrows = M.shape[0]
+    for i in range(nrows):
+        cols, _ = M.row(i)
+        r = int(owner[i])
+        for c in cols:
+            consumers.setdefault(int(c), set()).add(r)
+    return consumers
+
+
+def parallel_triangular_solve(
+    factors: ILUFactors,
+    b: np.ndarray,
+    *,
+    nranks: int | None = None,
+    model: MachineModel = CRAY_T3D,
+    simulate: bool = True,
+) -> TriangularSolveResult:
+    """Apply the preconditioner ``M^{-1} b`` with the two-phase schedule.
+
+    ``b`` and the returned ``x`` are in *original* ordering.  The factors
+    must carry a :class:`~repro.ilu.factors.LevelStructure` (i.e. come
+    from a parallel factorization).
+    """
+    if factors.levels is None:
+        raise ValueError(
+            "factors carry no level structure; use a parallel factorization "
+            "or the sequential solves in repro.sparse.ops"
+        )
+    levels = factors.levels
+    owner = levels.owner
+    n = factors.n
+    b = np.asarray(b, dtype=np.float64)
+    if b.shape != (n,):
+        raise ValueError(f"b has shape {b.shape}, expected ({n},)")
+    if nranks is None:
+        nranks = int(owner.max()) + 1 if owner.size else 1
+    sim = Simulator(nranks, model) if simulate else None
+    L, U = factors.L, factors.U
+    flops_total = 0.0
+
+    def charge(rank: int, fl: float) -> None:
+        nonlocal flops_total
+        flops_total += fl
+        if sim is not None:
+            sim.compute(rank, fl)
+
+    # ------------------------------------------------------- forward
+    bp = b[factors.perm]
+    y = bp.copy()
+    # interior blocks: independent across ranks
+    for (s, e) in levels.interior_ranges:
+        if s == e:
+            continue
+        rank = int(owner[s])
+        fl = 0
+        for i in range(s, e):
+            cols, vals = L.row(i)
+            if cols.size:
+                y[i] -= np.dot(vals, y[cols])
+                fl += 2 * cols.size
+        charge(rank, fl)
+    if sim is not None:
+        sim.barrier()
+
+    l_consumers = _column_consumers(L, owner) if sim is not None else {}
+    for lvl_idx, positions in enumerate(levels.interface_levels):
+        per_rank_fl: dict[int, float] = {}
+        for p in positions:
+            cols, vals = L.row(int(p))
+            if cols.size:
+                y[p] -= np.dot(vals, y[cols])
+            per_rank_fl[int(owner[p])] = per_rank_fl.get(int(owner[p]), 0.0) + 2.0 * cols.size
+        for rank, fl in sorted(per_rank_fl.items()):
+            charge(rank, fl)
+        if sim is not None:
+            words = _cross_rank_receivers(l_consumers, owner, positions)
+            for (src, dst), w in sorted(words.items()):
+                sim.send(src, dst, None, float(w), tag=("fwd", lvl_idx))
+            for (src, dst), _w in sorted(words.items()):
+                sim.recv(dst, src, tag=("fwd", lvl_idx))
+            sim.barrier()
+
+    # ------------------------------------------------------- backward
+    x = y
+    u_consumers = _column_consumers(U, owner) if sim is not None else {}
+    for lvl_idx in range(len(levels.interface_levels) - 1, -1, -1):
+        positions = levels.interface_levels[lvl_idx]
+        per_rank_fl = {}
+        for p in positions[::-1]:
+            cols, vals = U.row(int(p))
+            # diagonal stored first (position p itself)
+            if cols.size > 1:
+                x[p] -= np.dot(vals[1:], x[cols[1:]])
+            x[p] /= vals[0]
+            per_rank_fl[int(owner[p])] = (
+                per_rank_fl.get(int(owner[p]), 0.0) + 2.0 * (cols.size - 1) + 1.0
+            )
+        for rank, fl in sorted(per_rank_fl.items()):
+            charge(rank, fl)
+        if sim is not None:
+            words = _cross_rank_receivers(u_consumers, owner, positions)
+            # in the backward sweep values flow to *earlier* rows
+            for (src, dst), w in sorted(words.items()):
+                sim.send(src, dst, None, float(w), tag=("bwd", lvl_idx))
+            for (src, dst), _w in sorted(words.items()):
+                sim.recv(dst, src, tag=("bwd", lvl_idx))
+            sim.barrier()
+    for (s, e) in levels.interior_ranges:
+        if s == e:
+            continue
+        rank = int(owner[s])
+        fl = 0.0
+        for i in range(e - 1, s - 1, -1):
+            cols, vals = U.row(i)
+            if cols.size > 1:
+                x[i] -= np.dot(vals[1:], x[cols[1:]])
+            x[i] /= vals[0]
+            fl += 2.0 * (cols.size - 1) + 1.0
+        charge(rank, fl)
+    if sim is not None:
+        sim.barrier()
+
+    out = np.empty_like(x)
+    out[factors.perm] = x
+    return TriangularSolveResult(
+        x=out,
+        modeled_time=sim.elapsed() if sim is not None else None,
+        comm=sim.stats() if sim is not None else None,
+        flops=flops_total,
+    )

@@ -1,0 +1,15 @@
+"""Distributed-memory machine simulator: per-rank virtual clocks,
+message passing and collectives, driven by an analytic cost model
+(Cray T3D preset and others)."""
+
+from .model import CRAY_T3D, IDEAL, WORKSTATION_CLUSTER, MachineModel
+from .simulator import CommStats, Simulator
+
+__all__ = [
+    "MachineModel",
+    "CRAY_T3D",
+    "WORKSTATION_CLUSTER",
+    "IDEAL",
+    "Simulator",
+    "CommStats",
+]

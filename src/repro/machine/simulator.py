@@ -1,0 +1,252 @@
+"""Deterministic SPMD machine simulator.
+
+The parallel algorithms in this library (parallel ILUT/ILUT*, the
+level-scheduled triangular solves, the distributed matvec, the
+distributed two-step Luby MIS) are written against this simulator the
+way an MPI code is written against a communicator: ranks do local
+compute, exchange point-to-point messages, and synchronise at barriers
+and collectives.  The simulator
+
+* executes the *real* computation (the factorizations it produces are
+  bit-identical to what a real message-passing run would produce, since
+  the algorithms are deterministic given the ordering), and
+* maintains a **virtual clock per rank**, advanced by a
+  :class:`~repro.machine.model.MachineModel`, so the modelled elapsed
+  time reflects load imbalance, message latency/volume and the number of
+  synchronisation supersteps — the three effects the paper's evaluation
+  is about.
+
+Timing semantics
+----------------
+- ``compute(rank, flops)`` advances one rank's clock.
+- ``send``/``recv`` implement asynchronous point-to-point messages: a
+  message arrives no earlier than the sender's clock at send time plus
+  the transfer cost; ``recv`` advances the receiver to the arrival time
+  if it was ahead of it ("waiting").
+- ``barrier()`` sets every clock to the global maximum.
+- ``allreduce``/``allgather`` charge a log2(p) tree cost and act as a
+  barrier.
+
+The simulator is single-threaded and deterministic: "ranks" are just
+indices, and the driver code interleaves their work explicitly, which is
+exactly the superstep structure of the algorithms in the paper.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from .model import MachineModel
+
+__all__ = ["Simulator", "CommStats"]
+
+
+@dataclass
+class CommStats:
+    """Aggregate communication/computation counters of a simulation."""
+
+    nranks: int = 0
+    total_flops: float = 0.0
+    messages: int = 0
+    words_sent: float = 0.0
+    barriers: int = 0
+    collectives: int = 0
+    per_rank_flops: list[float] = field(default_factory=list)
+
+    def max_flops(self) -> float:
+        return max(self.per_rank_flops) if self.per_rank_flops else 0.0
+
+    def load_imbalance(self) -> float:
+        """Max over mean per-rank flops (1.0 = perfectly balanced)."""
+        if not self.per_rank_flops or self.total_flops == 0:
+            return 1.0
+        mean = self.total_flops / self.nranks
+        return self.max_flops() / mean if mean > 0 else 1.0
+
+
+class Simulator:
+    """A virtual ``nranks``-PE distributed-memory machine."""
+
+    def __init__(self, nranks: int, model: MachineModel) -> None:
+        if nranks < 1:
+            raise ValueError(f"nranks must be >= 1, got {nranks}")
+        self.nranks = int(nranks)
+        self.model = model
+        self.clock = np.zeros(self.nranks, dtype=np.float64)
+        self._flops = np.zeros(self.nranks, dtype=np.float64)
+        self._busy = np.zeros(self.nranks, dtype=np.float64)
+        # mailbox[(src, dst, tag)] -> FIFO of (arrival_time, payload, nwords)
+        self._mail: dict[tuple[int, int, Any], deque] = defaultdict(deque)
+        self._messages = 0
+        self._words = 0.0
+        self._barriers = 0
+        self._collectives = 0
+
+    # ------------------------------------------------------------------
+    # local work
+    # ------------------------------------------------------------------
+
+    def _check_rank(self, rank: int) -> int:
+        if not 0 <= rank < self.nranks:
+            raise IndexError(f"rank {rank} out of range [0, {self.nranks})")
+        return int(rank)
+
+    def compute(self, rank: int, flops: float) -> None:
+        """Charge ``flops`` floating-point operations to ``rank``."""
+        rank = self._check_rank(rank)
+        if flops < 0:
+            raise ValueError(f"flops must be non-negative, got {flops}")
+        cost = self.model.compute_cost(flops)
+        self.clock[rank] += cost
+        self._busy[rank] += cost
+        self._flops[rank] += flops
+
+    def advance(self, rank: int, seconds: float) -> None:
+        """Charge raw wall time (e.g. a memory-copy estimate) to ``rank``."""
+        rank = self._check_rank(rank)
+        if seconds < 0:
+            raise ValueError("seconds must be non-negative")
+        self.clock[rank] += seconds
+
+    # ------------------------------------------------------------------
+    # point-to-point
+    # ------------------------------------------------------------------
+
+    def send(self, src: int, dst: int, payload: Any, nwords: float, tag: Any = None) -> None:
+        """Post a message; the sender is charged the injection overhead."""
+        src = self._check_rank(src)
+        dst = self._check_rank(dst)
+        if nwords < 0:
+            raise ValueError("nwords must be non-negative")
+        if src == dst:
+            # local hand-off: free, but keep FIFO semantics
+            self._mail[(src, dst, tag)].append((self.clock[src], payload, 0.0))
+            return
+        cost = self.model.message_cost(nwords)
+        arrival = self.clock[src] + cost
+        # sender pays the injection (latency) portion; overlap of the
+        # transfer with computation is the usual MPI eager-protocol model
+        self.clock[src] += self.model.latency
+        self._mail[(src, dst, tag)].append((arrival, payload, nwords))
+        self._messages += 1
+        self._words += nwords
+
+    def recv(self, dst: int, src: int, tag: Any = None) -> Any:
+        """Blocking receive: waits (advances the clock) until arrival."""
+        dst = self._check_rank(dst)
+        src = self._check_rank(src)
+        box = self._mail[(src, dst, tag)]
+        if not box:
+            raise RuntimeError(
+                f"deadlock: rank {dst} receives from {src} (tag={tag!r}) "
+                "but no message was sent"
+            )
+        arrival, payload, _ = box.popleft()
+        if arrival > self.clock[dst]:
+            self.clock[dst] = arrival
+        return payload
+
+    def exchange(
+        self, messages: list[tuple[int, int, Any, float]], tag: Any = None
+    ) -> dict[int, list[tuple[int, Any]]]:
+        """Superstep all-to-some exchange.
+
+        ``messages`` is a list of ``(src, dst, payload, nwords)``.  All
+        sends are posted, then every destination drains its inbox.
+        Returns ``{dst: [(src, payload), ...]}`` in deterministic order.
+        """
+        for src, dst, payload, nwords in messages:
+            self.send(src, dst, payload, nwords, tag=tag)
+        out: dict[int, list[tuple[int, Any]]] = defaultdict(list)
+        per_dst: dict[int, list[int]] = defaultdict(list)
+        for src, dst, _, _ in messages:
+            per_dst[dst].append(src)
+        for dst in sorted(per_dst):
+            for src in per_dst[dst]:
+                out[dst].append((src, self.recv(dst, src, tag=tag)))
+        return dict(out)
+
+    # ------------------------------------------------------------------
+    # collectives
+    # ------------------------------------------------------------------
+
+    def barrier(self) -> None:
+        """Synchronise all ranks: wait for the slowest, plus the cost of a
+        log2(p)-step synchronisation tree (zero-payload collective)."""
+        self.clock[:] = self.clock.max() + self.model.collective_cost(self.nranks, 0.0)
+        self._barriers += 1
+
+    def allreduce(self, values: np.ndarray | list, op: str = "sum") -> Any:
+        """Reduce a per-rank scalar/array; all ranks get the result.
+
+        Charges a ``log2(p)`` tree of messages and synchronises.
+        """
+        arr = np.asarray(values)
+        if arr.shape[0] != self.nranks:
+            raise ValueError(
+                f"allreduce expects one value per rank ({self.nranks}), got {arr.shape}"
+            )
+        nwords = float(np.prod(arr.shape[1:])) if arr.ndim > 1 else 1.0
+        cost = self.model.collective_cost(self.nranks, nwords)
+        self.clock[:] = self.clock.max() + cost
+        self._collectives += 1
+        if op == "sum":
+            return arr.sum(axis=0)
+        if op == "max":
+            return arr.max(axis=0)
+        if op == "min":
+            return arr.min(axis=0)
+        if op == "or":
+            return np.logical_or.reduce(arr, axis=0)
+        raise ValueError(f"unsupported allreduce op {op!r}")
+
+    def allgather(self, values: list, nwords_each: float = 1.0) -> list:
+        """Every rank contributes one payload; all ranks get the list."""
+        if len(values) != self.nranks:
+            raise ValueError(
+                f"allgather expects one payload per rank ({self.nranks}), got {len(values)}"
+            )
+        cost = self.model.collective_cost(self.nranks, nwords_each * self.nranks)
+        self.clock[:] = self.clock.max() + cost
+        self._collectives += 1
+        return list(values)
+
+    # ------------------------------------------------------------------
+    # results
+    # ------------------------------------------------------------------
+
+    def elapsed(self) -> float:
+        """Modelled wall-clock time so far (the slowest rank)."""
+        return float(self.clock.max())
+
+    def utilization(self) -> np.ndarray:
+        """Per-rank fraction of elapsed time spent computing.
+
+        Everything that is not local computation — message injection,
+        waiting at receives, barriers and collectives — counts as
+        overhead, so ``1 - utilization`` is the parallel-overhead share
+        the paper's speedup discussion revolves around.
+        """
+        total = self.elapsed()
+        if total <= 0:
+            return np.ones(self.nranks)
+        return self._busy / total
+
+    def pending_messages(self) -> int:
+        """Messages sent but never received (should be 0 at the end)."""
+        return sum(len(q) for q in self._mail.values())
+
+    def stats(self) -> CommStats:
+        return CommStats(
+            nranks=self.nranks,
+            total_flops=float(self._flops.sum()),
+            messages=self._messages,
+            words_sent=self._words,
+            barriers=self._barriers,
+            collectives=self._collectives,
+            per_rank_flops=[float(f) for f in self._flops],
+        )

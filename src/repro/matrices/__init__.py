@@ -1,0 +1,22 @@
+"""Problem generators: structured grids (G0), synthetic unstructured FEM
+(TORSO substitute) and random matrices for tests."""
+
+from .fem import fem_unstructured, torso_like
+from .poisson import anisotropic2d, convection_diffusion2d, poisson2d, poisson3d
+from .random_matrices import (
+    random_diag_dominant,
+    random_geometric_laplacian,
+    random_pattern,
+)
+
+__all__ = [
+    "poisson2d",
+    "poisson3d",
+    "anisotropic2d",
+    "convection_diffusion2d",
+    "fem_unstructured",
+    "torso_like",
+    "random_diag_dominant",
+    "random_geometric_laplacian",
+    "random_pattern",
+]

@@ -1,0 +1,112 @@
+"""Initial partitioning of the coarsest graph.
+
+Greedy graph growing (GGP): grow one region at a time by BFS from a
+random seed, absorbing the frontier vertex with the largest internal
+connectivity until the region reaches its weight target.  Recursive
+calls produce a k-way split.  This mirrors the initial-partitioning
+stage of the multilevel k-way algorithm the paper relies on.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from ..graph import Graph
+
+__all__ = ["greedy_graph_growing", "initial_kway"]
+
+
+def greedy_graph_growing(
+    graph: Graph,
+    target_weight: float,
+    *,
+    eligible: np.ndarray,
+    seed_vertex: int,
+) -> np.ndarray:
+    """Grow one region of roughly ``target_weight`` from ``seed_vertex``.
+
+    ``eligible`` is a boolean mask of vertices available to this region.
+    Returns the boolean mask of the grown region.  The frontier is a
+    max-heap keyed by (gain = connectivity to region), so each absorbed
+    vertex is the one most attached to what has been grown so far.
+    """
+    n = graph.nvertices
+    region = np.zeros(n, dtype=bool)
+    if not eligible[seed_vertex]:
+        raise ValueError("seed vertex is not eligible")
+    gain = np.zeros(n, dtype=np.float64)
+    heap: list[tuple[float, int]] = []
+    counter = 0
+
+    def push(v: int) -> None:
+        nonlocal counter
+        heapq.heappush(heap, (-gain[v], counter, v))
+        counter += 1
+
+    region[seed_vertex] = True
+    weight = float(graph.vwgt[seed_vertex])
+    for u, w in zip(graph.neighbors(seed_vertex), graph.neighbor_weights(seed_vertex)):
+        if eligible[u] and not region[u]:
+            gain[u] += w
+            push(int(u))
+
+    while weight < target_weight and heap:
+        _, _, v = heapq.heappop(heap)
+        if region[v] or not eligible[v]:
+            continue
+        region[v] = True
+        weight += float(graph.vwgt[v])
+        for u, w in zip(graph.neighbors(v), graph.neighbor_weights(v)):
+            if eligible[u] and not region[u]:
+                gain[u] += w
+                push(int(u))
+    # If the eligible subgraph was disconnected and the region is still
+    # light, absorb arbitrary eligible vertices (keeps balance feasible).
+    if weight < target_weight:
+        for v in np.flatnonzero(eligible & ~region):
+            region[v] = True
+            weight += float(graph.vwgt[v])
+            if weight >= target_weight:
+                break
+    return region
+
+
+def initial_kway(graph: Graph, nparts: int, *, seed: int = 0) -> np.ndarray:
+    """k-way partition of a (small, coarsest) graph by iterated growing.
+
+    Regions ``0..k-2`` are grown to ``total/k`` each; the remainder forms
+    the last region.  Returns the part id per vertex.
+    """
+    n = graph.nvertices
+    if nparts < 1:
+        raise ValueError(f"nparts must be >= 1, got {nparts}")
+    part = np.full(n, nparts - 1, dtype=np.int64)
+    if nparts == 1 or n == 0:
+        return np.zeros(n, dtype=np.int64) if n else part
+    rng = np.random.default_rng(seed)
+    eligible = np.ones(n, dtype=bool)
+    total = graph.total_vertex_weight()
+    target = total / nparts
+    for p in range(nparts - 1):
+        avail = np.flatnonzero(eligible)
+        if avail.size == 0:
+            break
+        seed_vertex = int(avail[rng.integers(avail.size)])
+        region = greedy_graph_growing(
+            graph, target, eligible=eligible, seed_vertex=seed_vertex
+        )
+        part[region] = p
+        eligible &= ~region
+    # guarantee every part is non-empty (a rank with zero rows is legal
+    # but wasteful): steal single vertices from the largest parts
+    if n >= nparts:
+        sizes = np.bincount(part, minlength=nparts)
+        for p in np.flatnonzero(sizes == 0):
+            donor = int(np.argmax(sizes))
+            victim = int(np.flatnonzero(part == donor)[0])
+            part[victim] = p
+            sizes[donor] -= 1
+            sizes[p] += 1
+    return part

@@ -1,0 +1,89 @@
+"""Heavy-edge matching for multilevel coarsening.
+
+The multilevel paradigm (Karypis & Kumar '96, used by this paper for the
+initial domain decomposition) coarsens the graph by collapsing a maximal
+matching.  *Heavy-edge* matching prefers the incident edge of largest
+weight, which concentrates edge weight inside coarse vertices and keeps
+the edge-cut of coarse partitions representative of fine ones.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph import Graph
+
+__all__ = ["heavy_edge_matching", "collapse_matching"]
+
+
+def heavy_edge_matching(graph: Graph, *, seed: int = 0) -> np.ndarray:
+    """Compute a maximal matching preferring heavy edges.
+
+    Returns ``match`` with ``match[v]`` = the vertex matched to ``v``
+    (possibly ``v`` itself for unmatched vertices).  Visit order is a
+    random permutation for coarsening quality; ties go to the heaviest
+    incident unmatched edge.
+    """
+    n = graph.nvertices
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(n)
+    match = np.full(n, -1, dtype=np.int64)
+    for v in order:
+        if match[v] != -1:
+            continue
+        nbrs = graph.neighbors(v)
+        wgts = graph.neighbor_weights(v)
+        best = -1
+        best_w = -np.inf
+        for u, w in zip(nbrs, wgts):
+            if u != v and match[u] == -1 and w > best_w:
+                best, best_w = int(u), float(w)
+        if best >= 0:
+            match[v] = best
+            match[best] = v
+        else:
+            match[v] = v
+    return match
+
+
+def collapse_matching(graph: Graph, match: np.ndarray) -> tuple[Graph, np.ndarray]:
+    """Build the coarse graph induced by a matching.
+
+    Returns ``(coarse_graph, cmap)`` where ``cmap[v]`` is the coarse
+    vertex containing fine vertex ``v``.  Coarse vertex weights are the
+    sums of their constituents; parallel coarse edges are merged with
+    summed weights and self-loops (internal matched edges) are dropped.
+    """
+    n = graph.nvertices
+    cmap = np.full(n, -1, dtype=np.int64)
+    nc = 0
+    for v in range(n):
+        if cmap[v] != -1:
+            continue
+        u = int(match[v])
+        cmap[v] = nc
+        if u != v and cmap[u] == -1:
+            cmap[u] = nc
+        nc += 1
+    # coarse vertex weights
+    cvwgt = np.zeros(nc, dtype=np.float64)
+    np.add.at(cvwgt, cmap, graph.vwgt)
+    # coarse edges: map endpoints, merge duplicates via dict-of-dicts
+    from ..sparse import CSRMatrix
+
+    rows = np.repeat(cmap, np.diff(graph.xadj))
+    cols = cmap[graph.adjncy]
+    keep = rows != cols
+    if np.any(keep):
+        S = CSRMatrix.from_coo(
+            rows[keep], cols[keep], graph.adjwgt[keep], (nc, nc)
+        )
+        coarse = Graph(S.indptr, S.indices, S.data, cvwgt)
+    else:
+        coarse = Graph(
+            np.zeros(nc + 1, dtype=np.int64),
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.float64),
+            cvwgt,
+        )
+    return coarse, cmap

@@ -1,0 +1,46 @@
+"""Iterative solvers: restarted GMRES, CG, preconditioner interfaces,
+distributed matvec and modelled parallel solve times."""
+
+from .bicgstab import BiCGSTABResult, bicgstab
+from .cg import CGResult, cg
+from .driver import ParallelSolveReport, parallel_solve
+from .gmres import GMRESResult, gmres
+from .modeled import model_diagonal_precond_time, model_gmres_time
+from .parallel_matvec import MatvecResult, parallel_matvec
+from .preconditioners import (
+    DiagonalPreconditioner,
+    IdentityPreconditioner,
+    ILUPreconditioner,
+    Preconditioner,
+)
+from .stationary import (
+    StationaryResult,
+    SweepPreconditioner,
+    gauss_seidel,
+    jacobi,
+    sor,
+)
+
+__all__ = [
+    "gmres",
+    "GMRESResult",
+    "parallel_solve",
+    "ParallelSolveReport",
+    "cg",
+    "CGResult",
+    "bicgstab",
+    "BiCGSTABResult",
+    "parallel_matvec",
+    "MatvecResult",
+    "Preconditioner",
+    "IdentityPreconditioner",
+    "DiagonalPreconditioner",
+    "ILUPreconditioner",
+    "model_gmres_time",
+    "model_diagonal_precond_time",
+    "jacobi",
+    "gauss_seidel",
+    "sor",
+    "StationaryResult",
+    "SweepPreconditioner",
+]

@@ -1,0 +1,129 @@
+"""BiCGSTAB (van der Vorst '92) with left preconditioning.
+
+A short-recurrence alternative to restarted GMRES for the nonsymmetric
+systems in this library; unlike GMRES it needs two matvecs per
+iteration but no restart-length storage.  Included as a companion
+solver exercised by the examples and tests (the paper's evaluation uses
+GMRES exclusively).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ..sparse import CSRMatrix
+from .preconditioners import IdentityPreconditioner, Preconditioner
+
+__all__ = ["BiCGSTABResult", "bicgstab"]
+
+
+@dataclass
+class BiCGSTABResult:
+    """Outcome of a BiCGSTAB solve."""
+
+    x: np.ndarray
+    converged: bool
+    num_matvec: int
+    iterations: int
+    final_residual: float
+    residual_norms: list[float] = field(default_factory=list)
+    breakdown: bool = False
+
+
+def bicgstab(
+    A: CSRMatrix | Callable[[np.ndarray], np.ndarray],
+    b: np.ndarray,
+    *,
+    tol: float = 1e-8,
+    maxiter: int = 10_000,
+    M: Preconditioner | None = None,
+    x0: np.ndarray | None = None,
+) -> BiCGSTABResult:
+    """Solve ``A x = b`` with preconditioned BiCGSTAB.
+
+    Stops when ``||r|| <= tol * ||r0||``; reports ``breakdown=True`` when
+    a rho/omega breakdown forced an early exit.
+    """
+    matvec = A.matvec if isinstance(A, CSRMatrix) else A
+    b = np.asarray(b, dtype=np.float64)
+    n = b.size
+    if M is None:
+        M = IdentityPreconditioner()
+    x = np.zeros(n) if x0 is None else np.asarray(x0, dtype=np.float64).copy()
+
+    r = b - matvec(x) if x.any() else b.copy()
+    nmv = int(x.any())
+    r0_hat = r.copy()
+    r0_norm = float(np.linalg.norm(r))
+    hist = [r0_norm]
+    if r0_norm == 0.0:
+        return BiCGSTABResult(x, True, nmv, 0, 0.0, hist)
+    target = tol * r0_norm
+
+    rho_old = alpha = omega = 1.0
+    v = np.zeros(n)
+    p = np.zeros(n)
+    it = 0
+    converged = False
+    breakdown = False
+
+    while it < maxiter:
+        rho = float(np.dot(r0_hat, r))
+        if rho == 0.0:
+            breakdown = True
+            break
+        if it == 0:
+            p = r.copy()
+        else:
+            beta = (rho / rho_old) * (alpha / omega)
+            p = r + beta * (p - omega * v)
+        phat = M.apply(p)
+        v = matvec(phat)
+        nmv += 1
+        denom = float(np.dot(r0_hat, v))
+        if denom == 0.0:
+            breakdown = True
+            break
+        alpha = rho / denom
+        s = r - alpha * v
+        s_norm = float(np.linalg.norm(s))
+        if s_norm <= target:
+            x = x + alpha * phat
+            hist.append(s_norm)
+            it += 1
+            converged = True
+            break
+        shat = M.apply(s)
+        t = matvec(shat)
+        nmv += 1
+        tt = float(np.dot(t, t))
+        if tt == 0.0:
+            breakdown = True
+            break
+        omega = float(np.dot(t, s)) / tt
+        x = x + alpha * phat + omega * shat
+        r = s - omega * t
+        rho_old = rho
+        it += 1
+        rn = float(np.linalg.norm(r))
+        hist.append(rn)
+        if rn <= target:
+            converged = True
+            break
+        if omega == 0.0:
+            breakdown = True
+            break
+
+    final = float(np.linalg.norm(b - matvec(x)))
+    return BiCGSTABResult(
+        x=x,
+        converged=converged,
+        num_matvec=nmv,
+        iterations=it,
+        final_residual=final,
+        residual_norms=hist,
+        breakdown=breakdown,
+    )

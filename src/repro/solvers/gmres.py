@@ -1,0 +1,197 @@
+"""Restarted GMRES with left preconditioning (Saad & Schultz '86).
+
+This is the solver of the paper's Table 3: GMRES(20) and GMRES(50)
+preconditioned by parallel ILUT/ILUT* or the diagonal, iterated until
+the (preconditioned) residual norm drops by a factor of 1e-8.
+
+The implementation is the standard Arnoldi process with modified
+Gram-Schmidt orthogonalisation and Givens rotations to maintain the QR
+factorization of the Hessenberg matrix, so the residual norm is
+available at every inner step without forming the solution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ..sparse import CSRMatrix
+from .preconditioners import IdentityPreconditioner, Preconditioner
+
+__all__ = ["GMRESResult", "gmres"]
+
+
+@dataclass
+class GMRESResult:
+    """Outcome of a restarted-GMRES solve.
+
+    Attributes
+    ----------
+    x:
+        The computed solution.
+    converged:
+        Whether the stopping criterion was met.
+    num_matvec:
+        The paper's NMV — number of ``A @ v`` products performed.
+    num_precond:
+        Number of preconditioner applications.
+    iterations:
+        Total inner iterations across restarts.
+    residual_norms:
+        Preconditioned residual norm per inner iteration (including the
+        initial one).
+    """
+
+    x: np.ndarray
+    converged: bool
+    num_matvec: int
+    num_precond: int
+    iterations: int
+    final_residual: float
+    residual_norms: list[float] = field(default_factory=list)
+
+
+def gmres(
+    A: CSRMatrix | Callable[[np.ndarray], np.ndarray],
+    b: np.ndarray,
+    *,
+    restart: int = 20,
+    tol: float = 1e-8,
+    maxiter: int = 10_000,
+    M: Preconditioner | None = None,
+    x0: np.ndarray | None = None,
+) -> GMRESResult:
+    """Solve ``A x = b`` with left-preconditioned GMRES(restart).
+
+    Parameters
+    ----------
+    A:
+        Sparse matrix or a matvec callable.
+    b:
+        Right-hand side.
+    restart:
+        Krylov subspace dimension between restarts (paper: 20 and 50).
+    tol:
+        Relative reduction of the *preconditioned* residual norm
+        (paper: 1e-8).
+    maxiter:
+        Cap on total matrix-vector products.
+    M:
+        Left preconditioner (default: identity).
+    x0:
+        Initial guess (default: zero, as in the paper).
+    """
+    matvec = A.matvec if isinstance(A, CSRMatrix) else A
+    b = np.asarray(b, dtype=np.float64)
+    n = b.size
+    if M is None:
+        M = IdentityPreconditioner()
+    x = np.zeros(n) if x0 is None else np.asarray(x0, dtype=np.float64).copy()
+    if restart < 1:
+        raise ValueError(f"restart must be >= 1, got {restart}")
+
+    nmv = 0
+    nprec = 0
+    iters = 0
+    res_hist: list[float] = []
+
+    r = b - matvec(x) if x.any() else b.copy()
+    nmv += int(x.any())
+    z = M.apply(r)
+    nprec += 1
+    beta0 = float(np.linalg.norm(z))
+    res_hist.append(beta0)
+    if beta0 == 0.0:
+        return GMRESResult(x, True, nmv, nprec, 0, 0.0, res_hist)
+    target = tol * beta0
+
+    converged = False
+    while nmv < maxiter and not converged:
+        # Arnoldi basis and Hessenberg (QR-updated via Givens)
+        V = np.zeros((restart + 1, n))
+        H = np.zeros((restart + 1, restart))
+        cs = np.zeros(restart)
+        sn = np.zeros(restart)
+        g = np.zeros(restart + 1)
+
+        r = b - matvec(x) if x.any() else b.copy()
+        if x.any():
+            nmv += 1
+        z = M.apply(r)
+        nprec += 1
+        beta = float(np.linalg.norm(z))
+        if beta <= target:
+            converged = True
+            res_hist.append(beta)
+            break
+        V[0] = z / beta
+        g[0] = beta
+
+        j_used = 0
+        for j in range(restart):
+            if nmv >= maxiter:
+                break
+            w = M.apply(matvec(V[j]))
+            nmv += 1
+            nprec += 1
+            iters += 1
+            # modified Gram-Schmidt
+            for i in range(j + 1):
+                H[i, j] = float(np.dot(w, V[i]))
+                w -= H[i, j] * V[i]
+            H[j + 1, j] = float(np.linalg.norm(w))
+            if H[j + 1, j] > 1e-300:
+                V[j + 1] = w / H[j + 1, j]
+            # apply previous Givens rotations to the new column
+            for i in range(j):
+                h1 = cs[i] * H[i, j] + sn[i] * H[i + 1, j]
+                h2 = -sn[i] * H[i, j] + cs[i] * H[i + 1, j]
+                H[i, j], H[i + 1, j] = h1, h2
+            # new rotation to annihilate H[j+1, j]
+            denom = float(np.hypot(H[j, j], H[j + 1, j]))
+            if denom == 0.0:
+                cs[j], sn[j] = 1.0, 0.0
+            else:
+                cs[j] = H[j, j] / denom
+                sn[j] = H[j + 1, j] / denom
+            H[j, j] = cs[j] * H[j, j] + sn[j] * H[j + 1, j]
+            H[j + 1, j] = 0.0
+            g[j + 1] = -sn[j] * g[j]
+            g[j] = cs[j] * g[j]
+            j_used = j + 1
+            res = abs(float(g[j + 1]))
+            res_hist.append(res)
+            if res <= target:
+                converged = True
+                break
+        # form the update from the j_used-dimensional least-squares solution
+        if j_used > 0:
+            yk = np.zeros(j_used)
+            for i in range(j_used - 1, -1, -1):
+                s = g[i] - np.dot(H[i, i + 1 : j_used], yk[i + 1 :])
+                yk[i] = s / H[i, i] if H[i, i] != 0.0 else 0.0
+            x = x + V[:j_used].T @ yk
+        else:
+            break  # no progress possible
+
+    # Verify the recursively-updated residual against the explicitly
+    # computed one: on a (near-)breakdown with an inconsistent system the
+    # Givens recursion can report zero while the true residual is not —
+    # never trust the flag without this check.
+    final = float(np.linalg.norm(b - matvec(x)))
+    if converged:
+        z_final = M.apply(b - matvec(x))
+        nprec += 1
+        if float(np.linalg.norm(z_final)) > 10.0 * max(target, 1e-300):
+            converged = False
+    return GMRESResult(
+        x=x,
+        converged=converged,
+        num_matvec=nmv,
+        num_precond=nprec,
+        iterations=iters,
+        final_residual=final,
+        residual_norms=res_hist,
+    )

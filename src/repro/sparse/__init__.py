@@ -1,0 +1,27 @@
+"""Sparse-matrix substrate: COO assembly, CSR storage, row accumulator,
+triangular kernels and MatrixMarket I/O."""
+
+from .accumulator import SparseRowAccumulator
+from .coo import COOBuilder
+from .csr import CSRMatrix
+from .io import read_matrix_market, write_matrix_market
+from .ops import (
+    count_triangular_flops,
+    lower_solve,
+    lower_solve_unit,
+    split_lu,
+    upper_solve,
+)
+
+__all__ = [
+    "COOBuilder",
+    "CSRMatrix",
+    "SparseRowAccumulator",
+    "lower_solve",
+    "lower_solve_unit",
+    "upper_solve",
+    "split_lu",
+    "count_triangular_flops",
+    "read_matrix_market",
+    "write_matrix_market",
+]

@@ -1,0 +1,120 @@
+"""Sparse row accumulator — the paper's full-length working vector ``w``.
+
+ILUT-style eliminations accumulate linear combinations of sparse rows
+into a working row.  The efficient implementation (paper §2.1, Saad '94)
+uses a *full-length dense vector* ``w`` plus a companion list of the
+positions of its nonzero entries, so that loading a sparse row, axpy
+updates, and the final reset are all O(nnz) operations rather than O(n).
+
+This module provides that data structure once, shared by the sequential
+ILUT kernel, the reduced-matrix elimination (Algorithm 4.1) and the
+ILU(k) baseline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["SparseRowAccumulator"]
+
+
+class SparseRowAccumulator:
+    """Full-length working row with a nonzero-position companion list.
+
+    The accumulator is reused across all rows of a factorization: create
+    it once with the matrix width, then ``load`` / ``axpy`` / ``extract``
+    / ``reset`` per row.  ``reset`` is sparse — it only touches the
+    positions that were filled.
+    """
+
+    def __init__(self, n: int) -> None:
+        if n < 0:
+            raise ValueError(f"n must be non-negative, got {n}")
+        self.n = int(n)
+        self.values = np.zeros(self.n, dtype=np.float64)
+        # -1 = position empty; otherwise index into self._pattern
+        self._in_pattern = np.zeros(self.n, dtype=bool)
+        self._pattern: list[int] = []
+
+    # ------------------------------------------------------------------
+
+    def load(self, cols: np.ndarray, vals: np.ndarray) -> None:
+        """Sparse copy of a row into the (empty) accumulator."""
+        if self._pattern:
+            raise RuntimeError("load() on a non-empty accumulator; call reset() first")
+        cols = np.asarray(cols, dtype=np.int64)
+        self.values[cols] = vals
+        self._in_pattern[cols] = True
+        self._pattern.extend(int(c) for c in cols)
+
+    def axpy(self, alpha: float, cols: np.ndarray, vals: np.ndarray) -> None:
+        """``w[cols] += alpha * vals``, extending the pattern with fill."""
+        cols = np.asarray(cols, dtype=np.int64)
+        fresh = cols[~self._in_pattern[cols]]
+        if fresh.size:
+            self._in_pattern[fresh] = True
+            self._pattern.extend(int(c) for c in fresh)
+        self.values[cols] += alpha * vals
+
+    def set(self, col: int, val: float) -> None:
+        """Assign ``w[col] = val`` (adds the position to the pattern)."""
+        if not self._in_pattern[col]:
+            self._in_pattern[col] = True
+            self._pattern.append(int(col))
+        self.values[col] = val
+
+    def drop(self, col: int) -> None:
+        """Zero out position ``col`` but keep it in the pattern.
+
+        Dropped entries are filtered out at :meth:`extract` time; keeping
+        the slot avoids an O(pattern) deletion here.
+        """
+        self.values[col] = 0.0
+
+    def get(self, col: int) -> float:
+        return float(self.values[col])
+
+    def __contains__(self, col: int) -> bool:
+        return bool(self._in_pattern[col]) and self.values[col] != 0.0
+
+    @property
+    def pattern(self) -> np.ndarray:
+        """Current (unsorted) nonzero-candidate positions."""
+        return np.asarray(self._pattern, dtype=np.int64)
+
+    def nonzero_pattern(self) -> np.ndarray:
+        """Positions whose value is currently nonzero, unsorted."""
+        p = self.pattern
+        if p.size == 0:
+            return p
+        return p[self.values[p] != 0.0]
+
+    # ------------------------------------------------------------------
+
+    def extract(self, *, sort: bool = True) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(cols, vals)`` of the nonzero entries (no reset)."""
+        p = self.nonzero_pattern()
+        if sort and p.size:
+            p = np.sort(p)
+        return p, self.values[p].copy()
+
+    def extract_range(
+        self, lo: int, hi: int, *, sort: bool = True
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Nonzero entries with column index in ``[lo, hi)``."""
+        p = self.nonzero_pattern()
+        p = p[(p >= lo) & (p < hi)]
+        if sort and p.size:
+            p = np.sort(p)
+        return p, self.values[p].copy()
+
+    def reset(self) -> None:
+        """Sparse O(pattern) reset back to the empty state (line 15)."""
+        p = self.pattern
+        if p.size:
+            self.values[p] = 0.0
+            self._in_pattern[p] = False
+        self._pattern.clear()
+
+    def __len__(self) -> int:
+        return int(self.nonzero_pattern().size)

@@ -1,0 +1,106 @@
+"""Coordinate-format builder for sparse matrices.
+
+The COO builder is the standard entry point for assembling matrices
+(finite-difference stencils, FEM element loops, random generators).
+Duplicate entries are summed on conversion, matching the usual FEM
+assembly semantics.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+if TYPE_CHECKING:
+    from .csr import CSRMatrix
+
+__all__ = ["COOBuilder"]
+
+
+class COOBuilder:
+    """Incrementally assemble a sparse matrix in coordinate format.
+
+    Parameters
+    ----------
+    nrows, ncols:
+        Matrix dimensions.  ``ncols`` defaults to ``nrows``.
+
+    Entries added at the same ``(i, j)`` position are *summed* when the
+    matrix is finalised with :meth:`to_csr`.
+    """
+
+    def __init__(self, nrows: int, ncols: int | None = None) -> None:
+        if nrows < 0:
+            raise ValueError(f"nrows must be non-negative, got {nrows}")
+        self.nrows = int(nrows)
+        self.ncols = int(ncols) if ncols is not None else int(nrows)
+        if self.ncols < 0:
+            raise ValueError(f"ncols must be non-negative, got {self.ncols}")
+        self._rows: list[np.ndarray] = []
+        self._cols: list[np.ndarray] = []
+        self._vals: list[np.ndarray] = []
+
+    def add(self, i: int, j: int, v: float) -> None:
+        """Add a single entry ``A[i, j] += v``."""
+        self.add_batch(
+            np.asarray([i], dtype=np.int64),
+            np.asarray([j], dtype=np.int64),
+            np.asarray([v], dtype=np.float64),
+        )
+
+    def add_batch(
+        self,
+        rows: np.ndarray,
+        cols: np.ndarray,
+        vals: np.ndarray,
+    ) -> None:
+        """Add a batch of entries ``A[rows[k], cols[k]] += vals[k]``."""
+        rows = np.asarray(rows, dtype=np.int64).ravel()
+        cols = np.asarray(cols, dtype=np.int64).ravel()
+        vals = np.asarray(vals, dtype=np.float64).ravel()
+        if not (rows.shape == cols.shape == vals.shape):
+            raise ValueError(
+                "rows, cols and vals must have matching lengths: "
+                f"{rows.shape}, {cols.shape}, {vals.shape}"
+            )
+        if rows.size == 0:
+            return
+        if rows.min() < 0 or rows.max() >= self.nrows:
+            raise IndexError("row index out of range")
+        if cols.min() < 0 or cols.max() >= self.ncols:
+            raise IndexError("column index out of range")
+        self._rows.append(rows)
+        self._cols.append(cols)
+        self._vals.append(vals)
+
+    @property
+    def nnz_entries(self) -> int:
+        """Number of raw (possibly duplicated) entries added so far."""
+        return int(sum(a.size for a in self._rows))
+
+    def to_arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Return the raw (rows, cols, vals) arrays without deduplication."""
+        if not self._rows:
+            e_i = np.empty(0, dtype=np.int64)
+            e_v = np.empty(0, dtype=np.float64)
+            return e_i, e_i.copy(), e_v
+        return (
+            np.concatenate(self._rows),
+            np.concatenate(self._cols),
+            np.concatenate(self._vals),
+        )
+
+    def to_csr(self, *, drop_zeros: bool = False) -> "CSRMatrix":
+        """Finalise into a :class:`~repro.sparse.csr.CSRMatrix`.
+
+        Duplicate ``(i, j)`` entries are summed.  If ``drop_zeros`` is
+        true, entries that sum exactly to zero are removed from the
+        pattern.
+        """
+        from .csr import CSRMatrix
+
+        rows, cols, vals = self.to_arrays()
+        return CSRMatrix.from_coo(
+            rows, cols, vals, shape=(self.nrows, self.ncols), drop_zeros=drop_zeros
+        )

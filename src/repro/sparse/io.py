@@ -1,0 +1,70 @@
+"""Minimal Matrix Market (coordinate, real, general) reader/writer.
+
+Enough of the MatrixMarket format to persist test matrices and exchange
+them with other tools; pattern and symmetric variants are handled on
+read.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from .coo import COOBuilder
+from .csr import CSRMatrix
+
+__all__ = ["write_matrix_market", "read_matrix_market"]
+
+
+def write_matrix_market(A: CSRMatrix, path: str | os.PathLike) -> None:
+    """Write ``A`` in MatrixMarket coordinate/real/general format (1-based)."""
+    with open(path, "w", encoding="ascii") as fh:
+        fh.write("%%MatrixMarket matrix coordinate real general\n")
+        fh.write(f"{A.shape[0]} {A.shape[1]} {A.nnz}\n")
+        for i, cols, vals in A.iter_rows():
+            for j, v in zip(cols, vals):
+                fh.write(f"{i + 1} {j + 1} {float(v)!r}\n")
+
+
+def read_matrix_market(path: str | os.PathLike) -> CSRMatrix:
+    """Read a MatrixMarket coordinate file into a :class:`CSRMatrix`."""
+    with open(path, "r", encoding="ascii") as fh:
+        header = fh.readline()
+        if not header.startswith("%%MatrixMarket"):
+            raise ValueError(f"{path}: not a MatrixMarket file")
+        tokens = header.strip().lower().split()
+        if len(tokens) < 5:
+            raise ValueError(f"{path}: malformed MatrixMarket header: {header!r}")
+        _, obj, fmt, field, symmetry = tokens[:5]
+        if obj != "matrix" or fmt != "coordinate":
+            raise ValueError(f"{path}: only coordinate matrices are supported")
+        if field not in ("real", "integer", "pattern"):
+            raise ValueError(f"{path}: unsupported field {field!r}")
+        if symmetry not in ("general", "symmetric"):
+            raise ValueError(f"{path}: unsupported symmetry {symmetry!r}")
+
+        line = fh.readline()
+        while line.startswith("%"):
+            line = fh.readline()
+        parts = line.split()
+        if len(parts) != 3:
+            raise ValueError(f"{path}: malformed size line: {line!r}")
+        nrows, ncols, nnz = (int(p) for p in parts)
+
+        builder = COOBuilder(nrows, ncols)
+        rows = np.empty(nnz, dtype=np.int64)
+        cols = np.empty(nnz, dtype=np.int64)
+        vals = np.empty(nnz, dtype=np.float64)
+        for k in range(nnz):
+            entry = fh.readline().split()
+            if not entry:
+                raise ValueError(f"{path}: truncated file at entry {k}")
+            rows[k] = int(entry[0]) - 1
+            cols[k] = int(entry[1]) - 1
+            vals[k] = 1.0 if field == "pattern" else float(entry[2])
+        builder.add_batch(rows, cols, vals)
+        if symmetry == "symmetric":
+            off = rows != cols
+            builder.add_batch(cols[off], rows[off], vals[off])
+        return builder.to_csr()

@@ -1,0 +1,121 @@
+"""Sequential sparse kernels: triangular solves and related operations.
+
+These are the reference (single-processor) versions; the level-scheduled
+parallel formulations live in :mod:`repro.ilu.triangular`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .csr import CSRMatrix
+
+__all__ = [
+    "lower_solve_unit",
+    "upper_solve",
+    "lower_solve",
+    "split_lu",
+    "count_triangular_flops",
+]
+
+
+def lower_solve_unit(L: CSRMatrix, b: np.ndarray) -> np.ndarray:
+    """Solve ``(I + L) x = b`` where ``L`` is strictly lower triangular.
+
+    This matches the library's factor convention: the L factor is stored
+    without its (implicit, unit) diagonal.
+    """
+    n = L.shape[0]
+    if L.shape[0] != L.shape[1]:
+        raise ValueError(f"L must be square, got {L.shape}")
+    b = np.asarray(b, dtype=np.float64)
+    if b.shape != (n,):
+        raise ValueError(f"b has shape {b.shape}, expected ({n},)")
+    x = b.copy()
+    for i in range(n):
+        cols, vals = L.row(i)
+        if cols.size:
+            if cols[-1] >= i:
+                raise ValueError(f"L is not strictly lower triangular at row {i}")
+            x[i] -= np.dot(vals, x[cols])
+    return x
+
+
+def upper_solve(U: CSRMatrix, b: np.ndarray) -> np.ndarray:
+    """Solve ``U x = b`` where ``U`` is upper triangular with its diagonal stored."""
+    n = U.shape[0]
+    if U.shape[0] != U.shape[1]:
+        raise ValueError(f"U must be square, got {U.shape}")
+    b = np.asarray(b, dtype=np.float64)
+    if b.shape != (n,):
+        raise ValueError(f"b has shape {b.shape}, expected ({n},)")
+    x = b.copy()
+    for i in range(n - 1, -1, -1):
+        cols, vals = U.row(i)
+        if cols.size == 0 or cols[0] != i:
+            raise ValueError(f"U has no stored diagonal at row {i}")
+        if vals[0] == 0.0:
+            raise ZeroDivisionError(f"zero pivot in U at row {i}")
+        if cols.size > 1:
+            x[i] -= np.dot(vals[1:], x[cols[1:]])
+        x[i] /= vals[0]
+    return x
+
+
+def lower_solve(L: CSRMatrix, b: np.ndarray) -> np.ndarray:
+    """Solve ``L x = b`` for a lower-triangular ``L`` with stored diagonal."""
+    n = L.shape[0]
+    if L.shape[0] != L.shape[1]:
+        raise ValueError(f"L must be square, got {L.shape}")
+    b = np.asarray(b, dtype=np.float64)
+    x = b.copy()
+    for i in range(n):
+        cols, vals = L.row(i)
+        if cols.size == 0 or cols[-1] != i:
+            raise ValueError(f"L has no stored diagonal at row {i}")
+        if vals[-1] == 0.0:
+            raise ZeroDivisionError(f"zero pivot in L at row {i}")
+        if cols.size > 1:
+            x[i] -= np.dot(vals[:-1], x[cols[:-1]])
+        x[i] /= vals[-1]
+    return x
+
+
+def split_lu(A: CSRMatrix) -> tuple[CSRMatrix, np.ndarray, CSRMatrix]:
+    """Split ``A`` into (strict lower CSR, diagonal vector, strict upper CSR)."""
+    n = A.shape[0]
+    lr, lc, lv = [], [], []
+    ur, uc, uv = [], [], []
+    diag = np.zeros(n, dtype=np.float64)
+    for i, cols, vals in A.iter_rows():
+        below = cols < i
+        above = cols > i
+        on = cols == i
+        if np.any(on):
+            diag[i] = vals[on][0]
+        if np.any(below):
+            lr.append(np.full(int(below.sum()), i, dtype=np.int64))
+            lc.append(cols[below])
+            lv.append(vals[below])
+        if np.any(above):
+            ur.append(np.full(int(above.sum()), i, dtype=np.int64))
+            uc.append(cols[above])
+            uv.append(vals[above])
+
+    def build(rs: list, cs: list, vs: list) -> CSRMatrix:
+        if not rs:
+            return CSRMatrix.zeros(n, n)
+        return CSRMatrix.from_coo(
+            np.concatenate(rs), np.concatenate(cs), np.concatenate(vs), (n, n)
+        )
+
+    return build(lr, lc, lv), diag, build(ur, uc, uv)
+
+
+def count_triangular_flops(L: CSRMatrix, U: CSRMatrix) -> int:
+    """Multiply-add + divide count of one forward+backward substitution."""
+    # forward: one mul-add per off-diagonal L entry (unit diagonal)
+    # backward: one mul-add per off-diagonal U entry + one divide per row
+    n = U.shape[0]
+    u_offdiag = U.nnz - n
+    return int(2 * L.nnz + 2 * u_offdiag + n)

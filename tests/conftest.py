@@ -1,0 +1,55 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.matrices import (
+    convection_diffusion2d,
+    poisson2d,
+    random_diag_dominant,
+    random_geometric_laplacian,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_poisson():
+    """10x10 grid Laplacian: 100 rows, SPD, pentadiagonal."""
+    return poisson2d(10)
+
+
+@pytest.fixture
+def medium_poisson():
+    """16x16 grid Laplacian: 256 rows."""
+    return poisson2d(16)
+
+
+@pytest.fixture
+def small_diagdom():
+    """Random diagonally dominant 60x60 with symmetric pattern."""
+    return random_diag_dominant(60, 5, seed=7)
+
+
+@pytest.fixture
+def small_nonsym():
+    """Convection-diffusion: nonsymmetric values, symmetric structure."""
+    return convection_diffusion2d(10)
+
+
+@pytest.fixture
+def small_geometric():
+    """Irregular random-geometric Laplacian (unstructured-mesh stand-in)."""
+    return random_geometric_laplacian(80, seed=3)
+
+
+def to_scipy(A):
+    """Convert a repro CSRMatrix to scipy.sparse.csr_matrix (oracle use)."""
+    import scipy.sparse as sp
+
+    return sp.csr_matrix((A.data, A.indices, A.indptr), shape=A.shape)

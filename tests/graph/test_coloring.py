@@ -1,0 +1,67 @@
+"""Unit tests for greedy colouring (the ILU(0) concurrency path)."""
+
+import numpy as np
+
+from repro.graph import (
+    Graph,
+    adjacency_from_matrix,
+    color_classes,
+    greedy_coloring,
+    is_proper_coloring,
+)
+from repro.matrices import poisson2d, random_geometric_laplacian
+
+
+class TestGreedyColoring:
+    def test_poisson_is_two_colorable(self):
+        # the 5-point grid is bipartite: greedy WP ordering finds 2 colours
+        g = adjacency_from_matrix(poisson2d(8))
+        colors = greedy_coloring(g)
+        assert is_proper_coloring(g, colors)
+        assert colors.max() + 1 <= 4  # greedy may exceed 2, stays small
+
+    def test_proper_on_irregular(self):
+        g = adjacency_from_matrix(random_geometric_laplacian(100, seed=1))
+        colors = greedy_coloring(g)
+        assert is_proper_coloring(g, colors)
+        assert colors.max() + 1 <= int(g.degrees().max()) + 1  # Brooks-ish bound
+
+    def test_edgeless(self):
+        g = Graph(np.zeros(5, dtype=np.int64), np.empty(0, dtype=np.int64))
+        colors = greedy_coloring(g)
+        assert np.all(colors == 0)
+
+    def test_custom_order(self):
+        g = adjacency_from_matrix(poisson2d(4))
+        colors = greedy_coloring(g, order=np.arange(16))
+        assert is_proper_coloring(g, colors)
+
+    def test_all_vertices_colored(self):
+        g = adjacency_from_matrix(poisson2d(5))
+        colors = greedy_coloring(g)
+        assert np.all(colors >= 0)
+
+
+class TestColorClasses:
+    def test_classes_partition_vertices(self):
+        g = adjacency_from_matrix(poisson2d(6))
+        colors = greedy_coloring(g)
+        classes = color_classes(colors)
+        total = np.concatenate(classes)
+        assert sorted(total.tolist()) == list(range(36))
+
+    def test_each_class_independent(self):
+        from repro.graph import is_independent_set
+
+        g = adjacency_from_matrix(poisson2d(6))
+        for cls in color_classes(greedy_coloring(g)):
+            assert is_independent_set(g, cls)
+
+    def test_empty(self):
+        assert color_classes(np.array([], dtype=np.int64)) == []
+
+
+class TestIsProper:
+    def test_detects_conflict(self):
+        g = adjacency_from_matrix(poisson2d(3))
+        assert not is_proper_coloring(g, np.zeros(9, dtype=np.int64))

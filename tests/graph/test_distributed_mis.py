@@ -1,0 +1,90 @@
+"""Unit tests for the distributed two-step Luby MIS."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    adjacency_from_matrix,
+    distributed_two_step_luby_mis,
+    is_independent_set,
+    mis_comm_setup,
+    two_step_luby_mis,
+)
+from repro.machine import CRAY_T3D, Simulator
+from repro.matrices import poisson2d
+from repro.partition import block_partition
+
+
+def setup(nx=10, p=4):
+    A = poisson2d(nx)
+    g = adjacency_from_matrix(A)
+    part = block_partition(g.nvertices, p)
+    return g, part
+
+
+class TestCommSetup:
+    def test_pattern_symmetric_pairs(self):
+        g, part = setup()
+        sim = Simulator(4, CRAY_T3D)
+        pattern = mis_comm_setup(g, part, sim)
+        # on a symmetric graph, (a,b) present implies (b,a) present
+        for (a, b) in pattern:
+            assert (b, a) in pattern
+
+    def test_no_boundary_single_rank(self):
+        g, _ = setup()
+        sim = Simulator(1, CRAY_T3D)
+        assert mis_comm_setup(g, np.zeros(g.nvertices, dtype=np.int64), sim) == {}
+
+    def test_counts_match_boundary_vertices(self):
+        g, part = setup(nx=6, p=2)
+        pattern = mis_comm_setup(g, part)
+        # rank 0's vertices needed by rank 1 = vertices of 0 with an edge to 1
+        expect = set()
+        for v in range(g.nvertices):
+            if part[v] == 1:
+                for u in g.neighbors(v):
+                    if part[u] == 0:
+                        expect.add(int(u))
+        assert pattern[(0, 1)] == len(expect)
+
+
+class TestDistributedMIS:
+    def test_identical_to_serial(self):
+        g, part = setup()
+        sim = Simulator(4, CRAY_T3D)
+        mis_d = distributed_two_step_luby_mis(g, part, sim, seed=3, rounds=5)
+        mis_s = two_step_luby_mis(g, seed=3, rounds=5)
+        assert np.array_equal(mis_d, mis_s)
+
+    def test_independent(self):
+        g, part = setup(nx=12, p=8)
+        sim = Simulator(8, CRAY_T3D)
+        mis = distributed_two_step_luby_mis(g, part, sim, seed=0)
+        assert is_independent_set(g, mis)
+
+    def test_costs_charged(self):
+        g, part = setup()
+        sim = Simulator(4, CRAY_T3D)
+        distributed_two_step_luby_mis(g, part, sim, seed=0, rounds=5)
+        st = sim.stats()
+        assert st.total_flops > 0
+        assert st.messages > 0
+        assert st.barriers == 1 + 2 * 5  # setup + 2 per round
+
+    def test_part_validation(self):
+        g, part = setup()
+        sim = Simulator(2, CRAY_T3D)
+        with pytest.raises(ValueError):
+            distributed_two_step_luby_mis(g, part, sim)  # part uses 4 ranks
+        with pytest.raises(ValueError):
+            distributed_two_step_luby_mis(
+                g, np.zeros(3, dtype=np.int64), Simulator(1, CRAY_T3D)
+            )
+
+    def test_candidates_respected(self):
+        g, part = setup()
+        sim = Simulator(4, CRAY_T3D)
+        cand = np.arange(40)
+        mis = distributed_two_step_luby_mis(g, part, sim, seed=1, candidates=cand)
+        assert set(mis.tolist()) <= set(cand.tolist())

@@ -1,0 +1,113 @@
+"""Property-based tests for MIS algorithms on random (directed) graphs."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import (
+    Graph,
+    greedy_mis,
+    is_independent_set,
+    is_maximal_independent_set,
+    luby_mis,
+    two_step_luby_mis,
+)
+
+
+@st.composite
+def undirected_graphs(draw, max_n=14):
+    n = draw(st.integers(1, max_n))
+    edges = draw(
+        st.sets(
+            st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)).filter(
+                lambda e: e[0] != e[1]
+            ),
+            max_size=3 * n,
+        )
+    )
+    pairs = set()
+    for u, v in edges:
+        pairs.add((u, v))
+        pairs.add((v, u))
+    return _build(n, pairs)
+
+
+@st.composite
+def directed_graphs(draw, max_n=14):
+    n = draw(st.integers(1, max_n))
+    edges = draw(
+        st.sets(
+            st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)).filter(
+                lambda e: e[0] != e[1]
+            ),
+            max_size=3 * n,
+        )
+    )
+    return _build(n, edges)
+
+
+def _build(n, pairs):
+    xadj = np.zeros(n + 1, dtype=np.int64)
+    by_src = {}
+    for u, v in sorted(pairs):
+        by_src.setdefault(u, []).append(v)
+    adjncy = []
+    for v in range(n):
+        nbrs = sorted(by_src.get(v, []))
+        adjncy.extend(nbrs)
+        xadj[v + 1] = len(adjncy)
+    return Graph(xadj, np.asarray(adjncy, dtype=np.int64))
+
+
+@settings(max_examples=50, deadline=None)
+@given(undirected_graphs(), st.integers(0, 1000))
+def test_luby_maximal_on_undirected(g, seed):
+    mis = luby_mis(g, seed=seed)
+    assert is_maximal_independent_set(g, mis)
+
+
+@settings(max_examples=50, deadline=None)
+@given(undirected_graphs(), st.integers(0, 1000))
+def test_two_step_equals_luby_guarantees_on_undirected(g, seed):
+    mis = two_step_luby_mis(g, seed=seed, rounds=100)
+    assert is_maximal_independent_set(g, mis)
+
+
+@settings(max_examples=60, deadline=None)
+@given(directed_graphs(), st.integers(0, 1000), st.integers(1, 8))
+def test_two_step_independent_on_directed(g, seed, rounds):
+    """Core paper claim: independence holds on one-directional structures."""
+    mis = two_step_luby_mis(g, seed=seed, rounds=rounds)
+    mask = np.zeros(g.nvertices, dtype=bool)
+    mask[mis] = True
+    for v in range(g.nvertices):
+        if mask[v]:
+            for u in g.neighbors(v):
+                assert not mask[u]
+
+
+@settings(max_examples=60, deadline=None)
+@given(directed_graphs(), st.integers(0, 1000))
+def test_two_step_nonempty_when_rounds_positive(g, seed):
+    mis = two_step_luby_mis(g, seed=seed, rounds=1)
+    assert mis.size >= 1  # progress guarantee
+
+
+@settings(max_examples=50, deadline=None)
+@given(undirected_graphs())
+def test_greedy_mis_maximal(g):
+    assert is_maximal_independent_set(g, greedy_mis(g))
+
+
+@settings(max_examples=50, deadline=None)
+@given(undirected_graphs(), st.integers(0, 1000))
+def test_is_independent_consistency(g, seed):
+    mis = luby_mis(g, seed=seed)
+    assert is_independent_set(g, mis)
+    # adding any non-member must break independence or be a miss of maximality
+    mask = np.zeros(g.nvertices, dtype=bool)
+    mask[mis] = True
+    for v in range(g.nvertices):
+        if not mask[v]:
+            extended = np.concatenate([mis, [v]])
+            assert not is_independent_set(g, extended)

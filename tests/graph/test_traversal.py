@@ -1,0 +1,106 @@
+"""Unit tests for BFS, components and pseudo-peripheral vertices."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    Graph,
+    adjacency_from_matrix,
+    bfs_levels,
+    connected_components,
+    pseudo_peripheral_vertex,
+)
+from repro.matrices import poisson2d
+from repro.sparse import CSRMatrix
+
+
+def path_graph(n):
+    rows, cols = [], []
+    for i in range(n - 1):
+        rows += [i, i + 1]
+        cols += [i + 1, i]
+    A = CSRMatrix.from_coo(rows, cols, np.ones(len(rows)), (n, n))
+    return adjacency_from_matrix(A)
+
+
+def two_components():
+    # 0-1-2 and 3-4
+    rows = [0, 1, 1, 2, 3, 4]
+    cols = [1, 0, 2, 1, 4, 3]
+    A = CSRMatrix.from_coo(rows, cols, np.ones(6), (5, 5))
+    return adjacency_from_matrix(A)
+
+
+class TestBFS:
+    def test_path_distances(self):
+        g = path_graph(5)
+        assert bfs_levels(g, 0).tolist() == [0, 1, 2, 3, 4]
+        assert bfs_levels(g, 2).tolist() == [2, 1, 0, 1, 2]
+
+    def test_grid_distance_manhattan(self):
+        g = adjacency_from_matrix(poisson2d(5))
+        lv = bfs_levels(g, 0)
+        assert lv[24] == 8  # opposite corner of a 5x5 grid
+
+    def test_unreachable_minus_one(self):
+        g = two_components()
+        lv = bfs_levels(g, 0)
+        assert lv[3] == -1 and lv[4] == -1
+
+    def test_mask_restricts(self):
+        g = path_graph(5)
+        mask = np.array([True, True, False, True, True])
+        lv = bfs_levels(g, 0, mask=mask)
+        assert lv[1] == 1 and lv[3] == -1  # cut at the masked vertex
+
+    def test_masked_source_rejected(self):
+        g = path_graph(3)
+        with pytest.raises(ValueError):
+            bfs_levels(g, 1, mask=np.array([True, False, True]))
+
+    def test_bad_source(self):
+        with pytest.raises(IndexError):
+            bfs_levels(path_graph(3), 5)
+
+
+class TestComponents:
+    def test_connected_graph_one_component(self):
+        g = adjacency_from_matrix(poisson2d(4))
+        assert np.all(connected_components(g) == 0)
+
+    def test_two_components(self):
+        comp = connected_components(two_components())
+        assert comp[0] == comp[1] == comp[2]
+        assert comp[3] == comp[4]
+        assert comp[0] != comp[3]
+
+    def test_masked_vertices_excluded(self):
+        g = path_graph(5)
+        mask = np.array([True, True, False, True, True])
+        comp = connected_components(g, mask=mask)
+        assert comp[2] == -1
+        assert comp[0] == comp[1]
+        assert comp[3] == comp[4]
+        assert comp[0] != comp[3]
+
+    def test_isolated_vertices(self):
+        g = Graph(np.zeros(4, dtype=np.int64), np.empty(0, dtype=np.int64))
+        assert connected_components(g).tolist() == [0, 1, 2]
+
+
+class TestPseudoPeripheral:
+    def test_path_finds_endpoint(self):
+        g = path_graph(9)
+        v = pseudo_peripheral_vertex(g, start=4)
+        assert v in (0, 8)
+
+    def test_grid_finds_corner_distance(self):
+        g = adjacency_from_matrix(poisson2d(6))
+        v = pseudo_peripheral_vertex(g, start=14)
+        lv = bfs_levels(g, v)
+        assert lv.max() == 10  # full grid diameter
+
+    def test_empty_mask_rejected(self):
+        g = path_graph(3)
+        with pytest.raises(ValueError):
+            pseudo_peripheral_vertex(g, mask=np.zeros(3, dtype=bool))

@@ -1,0 +1,112 @@
+"""Property-based tests for the dropping rules (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ilu import keep_largest, second_rule, third_rule
+
+
+@st.composite
+def sparse_rows(draw, max_n=40):
+    n = draw(st.integers(1, max_n))
+    size = draw(st.integers(0, n))
+    cols = draw(
+        st.lists(st.integers(0, n - 1), min_size=size, max_size=size, unique=True)
+    )
+    vals = draw(
+        st.lists(
+            st.floats(-100, 100, allow_nan=False, allow_infinity=False),
+            min_size=len(cols),
+            max_size=len(cols),
+        )
+    )
+    order = np.argsort(cols) if cols else []
+    return (
+        n,
+        np.asarray(cols, dtype=np.int64)[order] if cols else np.empty(0, np.int64),
+        np.asarray(vals, dtype=np.float64)[order] if cols else np.empty(0),
+    )
+
+
+@settings(max_examples=80, deadline=None)
+@given(sparse_rows(), st.integers(0, 12))
+def test_keep_largest_invariants(row, m):
+    _, cols, vals = row
+    kc, kv = keep_largest(cols, vals, m)
+    # size cap
+    assert kc.size <= max(m, 0)
+    # sorted unique columns
+    if kc.size > 1:
+        assert np.all(np.diff(kc) > 0)
+    # kept values are a subset with correct pairing
+    lookup = {int(c): float(v) for c, v in zip(cols, vals)}
+    for c, v in zip(kc, kv):
+        assert lookup[int(c)] == v
+    # nothing dropped is larger than anything kept
+    if kc.size and kc.size == m and cols.size > m:
+        kept_min = np.abs(kv).min()
+        dropped = [abs(lookup[int(c)]) for c in cols if int(c) not in set(kc.tolist())]
+        if dropped:
+            assert max(dropped) <= kept_min + 1e-12
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    sparse_rows(),
+    st.integers(0, 39),
+    st.floats(0, 10, allow_nan=False),
+    st.integers(0, 8),
+)
+def test_second_rule_invariants(row, i, tau, m):
+    n, cols, vals = row
+    i = i % n
+    (lc, lv), diag, (uc, uv) = second_rule(cols, vals, i, tau, m)
+    # partition: L strictly below, U strictly above
+    assert np.all(lc < i)
+    assert np.all(uc > i)
+    # caps
+    assert lc.size <= m and uc.size <= m
+    # threshold: every kept off-diagonal is >= tau in magnitude
+    assert np.all(np.abs(lv) >= tau)
+    assert np.all(np.abs(uv) >= tau)
+    # the diagonal is reported from the input (or 0), regardless of tau
+    lookup = {int(c): float(v) for c, v in zip(cols, vals)}
+    assert diag == lookup.get(i, 0.0)
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    sparse_rows(),
+    st.floats(0, 10, allow_nan=False),
+    st.integers(0, 8),
+    st.one_of(st.none(), st.integers(1, 6)),
+    st.integers(0, 2**31 - 1),
+)
+def test_third_rule_invariants(row, tau, m, cap, seed):
+    n, cols, vals = row
+    rng = np.random.default_rng(seed)
+    is_factored = rng.random(n) < 0.5
+    diag_candidates = np.flatnonzero(~is_factored)
+    if diag_candidates.size == 0:
+        is_factored[0] = False
+        diag_candidates = np.asarray([0])
+    diag_col = int(diag_candidates[0])
+    (lc, lv), (rc, rv) = third_rule(
+        cols, vals, diag_col, tau, m, is_factored=is_factored, reduced_cap=cap
+    )
+    # L part only factored columns; reduced part only unfactored
+    assert np.all(is_factored[lc])
+    assert not np.any(is_factored[rc])
+    # caps
+    assert lc.size <= m
+    if cap is not None:
+        assert rc.size <= cap or (rc.size == 1 and rc[0] == diag_col)
+    # the diagonal slot is always present exactly once
+    assert int((rc == diag_col).sum()) == 1
+    # sortedness
+    if rc.size > 1:
+        assert np.all(np.diff(rc) > 0)
+    # threshold on everything except the diagonal slot
+    off = rc != diag_col
+    assert np.all(np.abs(rv[off]) >= tau)

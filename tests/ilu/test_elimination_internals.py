@@ -1,0 +1,138 @@
+"""Unit tests for EliminationEngine internals."""
+
+import numpy as np
+import pytest
+
+from repro.decomp import decompose
+from repro.ilu.elimination import EliminationEngine, _merge_rows
+from repro.machine import CRAY_T3D, Simulator
+from repro.matrices import poisson2d, random_diag_dominant
+
+
+class TestMergeRows:
+    def test_disjoint(self):
+        c, v = _merge_rows(
+            np.array([1, 3]), np.array([1.0, 3.0]),
+            np.array([2, 5]), np.array([2.0, 5.0]),
+        )
+        assert c.tolist() == [1, 2, 3, 5]
+        assert v.tolist() == [1.0, 2.0, 3.0, 5.0]
+
+    def test_overlap_sums(self):
+        c, v = _merge_rows(
+            np.array([1, 3]), np.array([1.0, 3.0]),
+            np.array([3, 4]), np.array([10.0, 4.0]),
+        )
+        assert c.tolist() == [1, 3, 4]
+        assert v.tolist() == [1.0, 13.0, 4.0]
+
+    def test_empty_sides(self):
+        e_c = np.empty(0, dtype=np.int64)
+        e_v = np.empty(0)
+        c, v = _merge_rows(e_c, e_v, np.array([2]), np.array([2.0]))
+        assert c.tolist() == [2]
+        c, v = _merge_rows(np.array([1]), np.array([1.0]), e_c, e_v)
+        assert c.tolist() == [1]
+        c, v = _merge_rows(e_c, e_v, e_c, e_v)
+        assert c.size == 0
+
+    def test_inputs_not_mutated(self):
+        c1 = np.array([1])
+        v1 = np.array([1.0])
+        c, v = _merge_rows(c1, v1, np.array([1]), np.array([2.0]))
+        assert v1[0] == 1.0
+
+
+class TestEngineValidation:
+    def _engine(self, **kw):
+        A = poisson2d(8)
+        d = decompose(A, 2, seed=0)
+        return EliminationEngine(d, 5, 1e-3, **kw)
+
+    def test_invalid_params(self):
+        A = poisson2d(8)
+        d = decompose(A, 2, seed=0)
+        with pytest.raises(ValueError):
+            EliminationEngine(d, -1, 1e-3)
+        with pytest.raises(ValueError):
+            EliminationEngine(d, 5, -1e-3)
+        with pytest.raises(ValueError):
+            EliminationEngine(d, 5, 1e-3, reduced_cap=0)
+
+    def test_max_levels_guard(self):
+        A = random_diag_dominant(30, 6, seed=0)
+        d = decompose(A, 4, seed=0)
+        engine = EliminationEngine(d, 30, 0.0, max_levels=1)
+        with pytest.raises(RuntimeError, match="did not terminate"):
+            engine.run()
+
+    def test_counters_populated(self):
+        engine = self._engine()
+        outcome = engine.run()
+        assert outcome.flops > 0
+        assert outcome.words_copied > 0
+        assert outcome.num_levels == len(outcome.level_sizes)
+
+    def test_u_rows_communicated_with_sim(self):
+        A = poisson2d(10)
+        d = decompose(A, 4, seed=0)
+        sim = Simulator(4, CRAY_T3D)
+        outcome = EliminationEngine(d, 5, 1e-3, sim=sim).run()
+        assert outcome.u_rows_communicated > 0
+        # every posted message was consumed
+        assert sim.pending_messages() == 0
+
+    def test_zero_mis_rounds_still_progresses(self):
+        # rounds=0 returns an empty set; engine must raise cleanly rather
+        # than loop forever
+        A = poisson2d(6)
+        d = decompose(A, 2, seed=0)
+        engine = EliminationEngine(d, 5, 1e-3, mis_rounds=0, max_levels=50)
+        with pytest.raises(RuntimeError):
+            engine.run()
+
+
+class TestEngineSemantics:
+    def test_l_rows_only_factored_columns(self):
+        A = poisson2d(10)
+        d = decompose(A, 4, seed=0)
+        engine = EliminationEngine(d, 5, 1e-3)
+        outcome = engine.run()
+        pos = engine.pos
+        for i, (lc, _lv) in engine.l_rows.items():
+            for c in lc:
+                assert pos[c] < pos[i], f"L[{i}] references later column {c}"
+
+    def test_u_rows_diag_first(self):
+        A = poisson2d(8)
+        d = decompose(A, 2, seed=0)
+        engine = EliminationEngine(d, 5, 1e-3)
+        engine.run()
+        for i, (uc, uv) in engine.u_rows.items():
+            assert uc[0] == i
+            assert uv[0] != 0.0
+
+    def test_reduced_rows_consumed(self):
+        A = poisson2d(8)
+        d = decompose(A, 4, seed=0)
+        engine = EliminationEngine(d, 5, 1e-3)
+        engine.run()
+        assert engine.reduced == {}
+
+    def test_reduced_cap_bounds_rows_during_run(self):
+        """ILUT*'s invariant: no reduced row ever exceeds the cap."""
+
+        class SpyEngine(EliminationEngine):
+            max_seen = 0
+
+            def _update_remaining(self, iset):
+                super()._update_remaining(iset)
+                for cols, _ in self.reduced.values():
+                    SpyEngine.max_seen = max(SpyEngine.max_seen, cols.size)
+
+        A = poisson2d(12)
+        d = decompose(A, 4, seed=0)
+        cap = 6
+        engine = SpyEngine(d, 3, 1e-8, reduced_cap=cap)
+        engine.run()
+        assert SpyEngine.max_seen <= cap

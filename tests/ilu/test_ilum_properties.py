@@ -1,0 +1,49 @@
+"""Property-based tests for ILUM."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ilu import ilum
+from repro.matrices import random_diag_dominant
+
+
+@settings(max_examples=12, deadline=None)
+@given(n=st.integers(8, 40), seed=st.integers(0, 200))
+def test_ilum_no_dropping_exact(n, seed):
+    A = random_diag_dominant(n, 4, seed=seed)
+    f = ilum(A, n, 0.0, seed=seed)
+    R = f.residual_matrix(A)
+    assert R.frobenius_norm() < 1e-8 * max(A.frobenius_norm(), 1.0)
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    n=st.integers(8, 40),
+    m=st.integers(1, 6),
+    seed=st.integers(0, 200),
+)
+def test_ilum_structural_invariants(n, m, seed):
+    A = random_diag_dominant(n, 4, seed=seed)
+    f = ilum(A, m, 1e-3, seed=seed)
+    assert sorted(f.perm.tolist()) == list(range(n))
+    f.levels.validate(n)
+    assert f.L.row_nnz().max() <= max(m, 1) or f.L.nnz == 0
+    for i in range(n):
+        uc, uv = f.U.row(i)
+        assert uc[0] == i and uv[0] != 0.0
+        lc, _ = f.L.row(i)
+        assert lc.size == 0 or lc.max() < i
+
+
+@settings(max_examples=10, deadline=None)
+@given(n=st.integers(10, 35), seed=st.integers(0, 100))
+def test_ilum_levels_are_independent_sets(n, seed):
+    """Rows of the same ILUM level never reference each other in U."""
+    A = random_diag_dominant(n, 4, seed=seed)
+    f = ilum(A, 5, 1e-4, seed=seed)
+    for lvl in f.levels.interface_levels:
+        members = set(lvl.tolist())
+        for p in lvl:
+            cols, _ = f.U.row(int(p))
+            assert not (set(cols[1:].tolist()) & members)

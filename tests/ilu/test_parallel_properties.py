@@ -1,0 +1,74 @@
+"""Property-based tests for the parallel factorization pipeline."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ilu import parallel_ilut, parallel_ilut_star
+from repro.matrices import random_diag_dominant
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    n=st.integers(12, 50),
+    p=st.integers(1, 6),
+    seed=st.integers(0, 100),
+)
+def test_no_dropping_exact_for_random_matrices(n, p, seed):
+    """(I+L)U == P A P^T whenever nothing is dropped — for any n, p, seed."""
+    A = random_diag_dominant(n, 4, seed=seed)
+    p = min(p, n)
+    r = parallel_ilut(A, n, 0.0, p, seed=seed, simulate=False)
+    R = r.factors.residual_matrix(A)
+    assert R.frobenius_norm() < 1e-8 * max(A.frobenius_norm(), 1.0)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    n=st.integers(12, 50),
+    p=st.integers(2, 6),
+    m=st.integers(1, 8),
+    seed=st.integers(0, 100),
+)
+def test_structural_invariants_hold_under_dropping(n, p, m, seed):
+    A = random_diag_dominant(n, 4, seed=seed)
+    p = min(p, n)
+    r = parallel_ilut(A, m, 1e-3, p, seed=seed, simulate=False)
+    f = r.factors
+    # permutation is a bijection
+    assert sorted(f.perm.tolist()) == list(range(n))
+    # triangularity with stored diagonal in U
+    for i in range(n):
+        lc, _ = f.L.row(i)
+        uc, uv = f.U.row(i)
+        assert lc.size == 0 or lc.max() < i
+        assert uc[0] == i and uv[0] != 0.0
+    # level structure tiles the matrix
+    f.levels.validate(n)
+    # L row cap respected (interior rows obey m; interface rows obey m too)
+    assert f.L.row_nnz().max() <= max(m, 1)
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    n=st.integers(16, 40),
+    p=st.integers(2, 4),
+    k=st.integers(1, 4),
+    seed=st.integers(0, 50),
+)
+def test_ilutstar_reduced_rows_never_exceed_mis_count(n, p, k, seed):
+    """ILUT* must produce no more levels than plain ILUT (same everything)."""
+    A = random_diag_dominant(n, 5, seed=seed)
+    m = 3
+    r_star = parallel_ilut_star(A, m, 0.0, k, p, seed=seed, simulate=False)
+    r_full = parallel_ilut(A, m, 0.0, p, seed=seed, simulate=False)
+    assert r_star.num_levels <= r_full.num_levels + 2  # allow MIS noise
+
+
+@settings(max_examples=10, deadline=None)
+@given(n=st.integers(12, 40), p=st.integers(1, 5), seed=st.integers(0, 50))
+def test_level_sizes_sum_to_interface_count(n, p, seed):
+    A = random_diag_dominant(n, 4, seed=seed)
+    p = min(p, n)
+    r = parallel_ilut(A, 5, 1e-3, p, seed=seed, simulate=False)
+    assert sum(r.level_sizes) == r.decomp.n_interface

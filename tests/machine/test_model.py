@@ -1,0 +1,42 @@
+"""Unit tests for the machine cost model."""
+
+import math
+
+import pytest
+
+from repro.machine import CRAY_T3D, IDEAL, WORKSTATION_CLUSTER, MachineModel
+
+
+class TestMachineModel:
+    def test_compute_cost_linear(self):
+        m = MachineModel("x", flop_time=1e-6, latency=0, byte_time=0)
+        assert m.compute_cost(1000) == pytest.approx(1e-3)
+
+    def test_message_cost_latency_plus_volume(self):
+        m = MachineModel("x", flop_time=0, latency=1e-5, byte_time=1e-8)
+        assert m.message_cost(100) == pytest.approx(1e-5 + 100 * 8 * 1e-8)
+
+    def test_collective_cost_log_tree(self):
+        m = MachineModel("x", flop_time=0, latency=1e-5, byte_time=0)
+        assert m.collective_cost(8, 1) == pytest.approx(3 * 1e-5)
+        assert m.collective_cost(1, 1) == 0.0
+
+    def test_collective_nonpow2(self):
+        m = MachineModel("x", flop_time=0, latency=1e-5, byte_time=0)
+        assert m.collective_cost(5, 1) == pytest.approx(math.ceil(math.log2(5)) * 1e-5)
+
+    def test_negative_params_rejected(self):
+        with pytest.raises(ValueError):
+            MachineModel("x", flop_time=-1, latency=0, byte_time=0)
+        with pytest.raises(ValueError):
+            MachineModel("x", flop_time=0, latency=0, byte_time=0, word_bytes=0)
+
+    def test_presets_sensible(self):
+        # T3D communicates much faster than the cluster preset
+        assert CRAY_T3D.latency < WORKSTATION_CLUSTER.latency
+        assert CRAY_T3D.byte_time < WORKSTATION_CLUSTER.byte_time
+        assert IDEAL.message_cost(1e6) == 0.0
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            CRAY_T3D.latency = 0.0

@@ -1,0 +1,153 @@
+"""Unit tests for the problem generators."""
+
+import numpy as np
+import pytest
+
+from repro.matrices import (
+    anisotropic2d,
+    convection_diffusion2d,
+    fem_unstructured,
+    poisson2d,
+    poisson3d,
+    random_diag_dominant,
+    random_geometric_laplacian,
+    random_pattern,
+    torso_like,
+)
+
+
+class TestPoisson2D:
+    def test_size_and_nnz(self):
+        A = poisson2d(10)
+        assert A.shape == (100, 100)
+        # 5-point stencil: 5n - 4*boundary corrections
+        assert A.nnz == 5 * 100 - 4 * 10
+
+    def test_symmetric(self):
+        A = poisson2d(8)
+        assert (A - A.transpose()).frobenius_norm() < 1e-14
+
+    def test_diagonal_dominant(self):
+        A = poisson2d(6)
+        for i, cols, vals in A.iter_rows():
+            off = np.abs(vals[cols != i]).sum()
+            assert A.get(i, i) >= off
+
+    def test_positive_definite(self):
+        A = poisson2d(6).to_dense()
+        assert np.all(np.linalg.eigvalsh(A) > 0)
+
+    def test_rectangular_grid(self):
+        A = poisson2d(4, 6)
+        assert A.shape == (24, 24)
+
+    def test_rejects_bad_dims(self):
+        with pytest.raises(ValueError):
+            poisson2d(0)
+
+    def test_row_stencil_interior(self):
+        A = poisson2d(5)
+        # centre point of the grid: 4 neighbours
+        cols, vals = A.row(12)
+        assert cols.size == 5
+        assert A.get(12, 12) == 4.0
+
+
+class TestPoisson3D:
+    def test_size(self):
+        A = poisson3d(4)
+        assert A.shape == (64, 64)
+
+    def test_interior_stencil(self):
+        A = poisson3d(3)
+        centre = 13  # (1,1,1)
+        cols, _ = A.row(centre)
+        assert cols.size == 7
+        assert A.get(centre, centre) == 6.0
+
+    def test_symmetric(self):
+        A = poisson3d(3)
+        assert (A - A.transpose()).frobenius_norm() < 1e-14
+
+
+class TestVariants:
+    def test_anisotropic_weights(self):
+        A = anisotropic2d(4, ax=1.0, ay=100.0)
+        assert A.get(5, 4) == -1.0   # x-neighbour
+        assert A.get(5, 1) == -100.0  # y-neighbour
+        assert A.get(5, 5) == 202.0
+
+    def test_convection_diffusion_nonsymmetric(self):
+        A = convection_diffusion2d(6, bx=50.0, by=0.0)
+        assert abs(A.get(1, 2) - A.get(2, 1)) > 0  # upwind/downwind differ
+
+    def test_convection_structure_symmetric(self):
+        A = convection_diffusion2d(6)
+        B = A.transpose()
+        assert np.array_equal(A.indptr, B.indptr)
+        assert np.array_equal(A.indices, B.indices)
+
+
+class TestFEM:
+    def test_fem_unstructured_properties(self):
+        A = fem_unstructured(120, seed=0)
+        assert A.shape == (120, 120)
+        assert (A - A.transpose()).frobenius_norm() < 1e-9
+        # positive definite after grounding
+        evals = np.linalg.eigvalsh(A.to_dense())
+        assert evals.min() > 0
+
+    def test_torso_like_properties(self):
+        A = torso_like(200, seed=0)
+        assert A.shape == (200, 200)
+        assert (A - A.transpose()).frobenius_norm() < 1e-9
+        # irregular degree distribution (unlike a structured grid)
+        deg = A.row_nnz()
+        assert deg.max() > deg.min() + 5
+
+    def test_torso_conductivity_jumps(self):
+        # the inhomogeneous regions must produce a wide spread of
+        # off-diagonal magnitudes (the TORSO trait ILUT exploits)
+        A = torso_like(300, seed=1)
+        off = np.abs(A.data[A.data < 0])
+        assert off.max() / np.median(off) > 10
+
+    def test_too_few_points_rejected(self):
+        with pytest.raises(ValueError):
+            fem_unstructured(3)
+        with pytest.raises(ValueError):
+            torso_like(4)
+
+    def test_deterministic(self):
+        A1 = torso_like(150, seed=5)
+        A2 = torso_like(150, seed=5)
+        assert A1.allclose(A2, rtol=0, atol=0)
+
+
+class TestRandomMatrices:
+    def test_diag_dominant_property(self):
+        A = random_diag_dominant(50, 6, seed=0, dominance=2.0)
+        for i, cols, vals in A.iter_rows():
+            off = np.abs(vals[cols != i]).sum()
+            assert A.get(i, i) > off
+
+    def test_structurally_symmetric_when_asked(self):
+        A = random_diag_dominant(40, 5, seed=1, symmetric_pattern=True)
+        B = A.transpose()
+        assert np.array_equal(A.indptr, B.indptr)
+        assert np.array_equal(A.indices, B.indices)
+
+    def test_geometric_laplacian_connected_enough(self):
+        A = random_geometric_laplacian(100, seed=0)
+        assert A.row_nnz().min() >= 1  # at least the diagonal
+
+    def test_random_pattern_density(self):
+        A = random_pattern(40, 0.1, seed=0)
+        # diag forced → at least n entries
+        assert A.nnz >= 40
+        with pytest.raises(ValueError):
+            random_pattern(10, 1.5)
+
+    def test_row_nnz_clamped(self):
+        A = random_diag_dominant(5, 50, seed=0)
+        assert A.row_nnz().max() <= 5

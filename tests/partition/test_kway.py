@@ -1,0 +1,134 @@
+"""Unit tests for the multilevel k-way partitioning driver and baselines."""
+
+import numpy as np
+import pytest
+
+from repro.graph import adjacency_from_matrix
+from repro.matrices import poisson2d, random_geometric_laplacian, torso_like
+from repro.partition import (
+    block_partition,
+    edge_cut,
+    partition_balance,
+    partition_graph_kway,
+    partition_matrix_kway,
+    random_partition,
+)
+
+
+class TestMultilevelKway:
+    def test_part_ids_in_range(self):
+        res = partition_matrix_kway(poisson2d(12), 4, seed=0)
+        assert res.part.min() >= 0 and res.part.max() < 4
+
+    def test_all_vertices_assigned(self):
+        res = partition_matrix_kway(poisson2d(12), 4, seed=0)
+        assert res.part.size == 144
+
+    def test_balance_respected(self):
+        res = partition_matrix_kway(poisson2d(16), 8, seed=1)
+        assert res.balance <= 1.25  # modest slack over the 1.05 target
+
+    def test_single_part(self):
+        res = partition_matrix_kway(poisson2d(6), 1)
+        assert np.all(res.part == 0)
+        assert res.edge_cut == 0.0
+
+    def test_too_many_parts_rejected(self):
+        g = adjacency_from_matrix(poisson2d(2))
+        with pytest.raises(ValueError):
+            partition_graph_kway(g, 10)
+
+    def test_nonpositive_parts_rejected(self):
+        g = adjacency_from_matrix(poisson2d(3))
+        with pytest.raises(ValueError):
+            partition_graph_kway(g, 0)
+
+    def test_beats_random_partition_on_cut(self):
+        A = poisson2d(16)
+        g = adjacency_from_matrix(A)
+        res = partition_matrix_kway(A, 8, seed=0)
+        rand_cut = edge_cut(g, random_partition(256, 8, seed=0))
+        assert res.edge_cut < 0.5 * rand_cut
+
+    def test_grid_cut_near_theoretical(self):
+        # a 4-way split of an n×n grid can achieve cut ~2n; accept 4n
+        n = 16
+        res = partition_matrix_kway(poisson2d(n), 4, seed=0)
+        assert res.edge_cut <= 4 * n
+
+    def test_deterministic_given_seed(self):
+        A = random_geometric_laplacian(80, seed=2)
+        r1 = partition_matrix_kway(A, 4, seed=9)
+        r2 = partition_matrix_kway(A, 4, seed=9)
+        assert np.array_equal(r1.part, r2.part)
+
+    def test_part_sizes_sum(self):
+        res = partition_matrix_kway(poisson2d(10), 5, seed=0)
+        assert res.part_sizes().sum() == 100
+
+    def test_levels_recorded(self):
+        res = partition_matrix_kway(poisson2d(20), 4, seed=0)
+        assert res.levels >= 1
+        assert res.history[0] == 400
+
+    def test_unstructured_mesh(self):
+        A = torso_like(300, seed=1)
+        res = partition_matrix_kway(A, 4, seed=0)
+        assert res.balance < 1.3
+        g = adjacency_from_matrix(A)
+        assert res.edge_cut < edge_cut(g, random_partition(300, 4, seed=1))
+
+    def test_disconnected_graph_handled(self):
+        from repro.sparse import CSRMatrix
+
+        # two disconnected 4-cliques
+        rows, cols = [], []
+        for base in (0, 4):
+            for i in range(4):
+                for j in range(4):
+                    if i != j:
+                        rows.append(base + i)
+                        cols.append(base + j)
+        A = CSRMatrix.from_coo(rows, cols, np.ones(len(rows)), (8, 8))
+        res = partition_matrix_kway(A, 2, seed=0)
+        assert res.part_sizes().min() >= 1
+
+
+class TestBaselines:
+    def test_block_partition_contiguous(self):
+        part = block_partition(10, 3)
+        assert np.all(np.diff(part) >= 0)
+        assert part.min() == 0 and part.max() == 2
+
+    def test_block_partition_balanced(self):
+        part = block_partition(100, 7)
+        sizes = np.bincount(part)
+        assert sizes.max() - sizes.min() <= 1
+
+    def test_random_partition_balanced(self):
+        part = random_partition(100, 4, seed=0)
+        sizes = np.bincount(part)
+        assert sizes.max() - sizes.min() <= 1
+
+    def test_invalid_nparts(self):
+        with pytest.raises(ValueError):
+            block_partition(5, 0)
+        with pytest.raises(ValueError):
+            random_partition(5, -1)
+
+
+class TestMetrics:
+    def test_edge_cut_zero_for_single_part(self):
+        g = adjacency_from_matrix(poisson2d(5))
+        assert edge_cut(g, np.zeros(25, dtype=np.int64)) == 0.0
+
+    def test_edge_cut_counts_each_edge_once(self):
+        g = adjacency_from_matrix(poisson2d(2))  # 2x2 grid: 4 edges
+        part = np.array([0, 1, 0, 1])
+        # cut edges: (0,1),(2,3) horizontal = 2
+        assert edge_cut(g, part) == 2.0
+
+    def test_balance_perfect(self):
+        g = adjacency_from_matrix(poisson2d(4))
+        part = block_partition(16, 4)
+        assert partition_balance(g, part, 4) == 1.0

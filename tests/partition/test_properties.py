@@ -1,0 +1,63 @@
+"""Property-based tests for the partitioner."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import adjacency_from_matrix
+from repro.matrices import random_geometric_laplacian
+from repro.partition import (
+    collapse_matching,
+    heavy_edge_matching,
+    partition_graph_kway,
+)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.integers(10, 80),
+    st.integers(1, 6),
+    st.integers(0, 100),
+)
+def test_partition_is_total_and_in_range(n, nparts, seed):
+    A = random_geometric_laplacian(n, seed=seed % 7)
+    g = adjacency_from_matrix(A)
+    nparts = min(nparts, n)
+    res = partition_graph_kway(g, nparts, seed=seed)
+    assert res.part.size == n
+    assert res.part.min() >= 0
+    assert res.part.max() < nparts
+    # every part non-empty when nparts <= n
+    assert np.unique(res.part).size == nparts or n < 2 * nparts
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(10, 60), st.integers(0, 100))
+def test_matching_involution_property(n, seed):
+    A = random_geometric_laplacian(n, seed=seed % 5)
+    g = adjacency_from_matrix(A)
+    match = heavy_edge_matching(g, seed=seed)
+    assert np.array_equal(match[match], np.arange(n))
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(10, 60), st.integers(0, 100))
+def test_collapse_conserves_weight_and_shrinks(n, seed):
+    A = random_geometric_laplacian(n, seed=seed % 5)
+    g = adjacency_from_matrix(A)
+    coarse, cmap = collapse_matching(g, heavy_edge_matching(g, seed=seed))
+    assert coarse.total_vertex_weight() == g.total_vertex_weight()
+    assert coarse.nvertices <= g.nvertices
+    assert cmap.min() >= 0 and cmap.max() == coarse.nvertices - 1
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(16, 64), st.integers(2, 4), st.integers(0, 50))
+def test_edge_cut_consistency(n, nparts, seed):
+    """edge_cut reported by the driver equals a direct recount."""
+    from repro.partition import edge_cut
+
+    A = random_geometric_laplacian(n, seed=seed % 3)
+    g = adjacency_from_matrix(A)
+    res = partition_graph_kway(g, nparts, seed=seed)
+    assert res.edge_cut == edge_cut(g, res.part)

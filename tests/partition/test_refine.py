@@ -1,0 +1,104 @@
+"""Unit tests for boundary refinement and initial partitioning."""
+
+import numpy as np
+
+from repro.graph import adjacency_from_matrix
+from repro.matrices import poisson2d
+from repro.partition import (
+    edge_cut,
+    greedy_graph_growing,
+    initial_kway,
+    partition_balance,
+    random_partition,
+    refine_kway,
+)
+
+
+class TestRefine:
+    def test_never_increases_cut(self):
+        g = adjacency_from_matrix(poisson2d(10))
+        part = random_partition(100, 4, seed=0)
+        before = edge_cut(g, part)
+        refined = refine_kway(g, part.copy(), 4, seed=0)
+        assert edge_cut(g, refined) <= before
+
+    def test_respects_balance_cap(self):
+        g = adjacency_from_matrix(poisson2d(10))
+        part = random_partition(100, 4, seed=1)
+        refined = refine_kway(g, part.copy(), 4, max_imbalance=1.05, seed=0)
+        assert partition_balance(g, refined, 4) <= 1.06
+
+    def test_noop_on_optimal(self):
+        # block partition of a path graph is optimal; refinement keeps it
+        from repro.sparse import CSRMatrix
+
+        n = 20
+        rows, cols, vals = [], [], []
+        for i in range(n - 1):
+            rows += [i, i + 1]
+            cols += [i + 1, i]
+            vals += [1.0, 1.0]
+        A = CSRMatrix.from_coo(rows, cols, vals, (n, n))
+        g = adjacency_from_matrix(A)
+        part = np.repeat([0, 1], n // 2)
+        refined = refine_kway(g, part.copy(), 2, seed=0)
+        assert edge_cut(g, refined) == 1.0
+
+    def test_does_not_empty_parts(self):
+        g = adjacency_from_matrix(poisson2d(6))
+        part = random_partition(36, 6, seed=2)
+        refined = refine_kway(g, part.copy(), 6, seed=0)
+        assert np.unique(refined).size == 6
+
+    def test_significant_improvement_from_random(self):
+        g = adjacency_from_matrix(poisson2d(16))
+        part = random_partition(256, 4, seed=3)
+        before = edge_cut(g, part)
+        refined = refine_kway(g, part.copy(), 4, passes=8, seed=0)
+        assert edge_cut(g, refined) < 0.8 * before
+
+
+class TestInitialKway:
+    def test_covers_all_vertices(self):
+        g = adjacency_from_matrix(poisson2d(8))
+        part = initial_kway(g, 4, seed=0)
+        assert part.size == 64
+        assert set(np.unique(part)) <= set(range(4))
+
+    def test_single_part(self):
+        g = adjacency_from_matrix(poisson2d(4))
+        assert np.all(initial_kway(g, 1) == 0)
+
+    def test_roughly_balanced(self):
+        g = adjacency_from_matrix(poisson2d(12))
+        part = initial_kway(g, 4, seed=1)
+        sizes = np.bincount(part, minlength=4)
+        assert sizes.min() >= 0.4 * 144 / 4
+        assert sizes.max() <= 2.0 * 144 / 4
+
+
+class TestGreedyGrowing:
+    def test_region_connected_on_grid(self):
+        g = adjacency_from_matrix(poisson2d(8))
+        eligible = np.ones(64, dtype=bool)
+        region = greedy_graph_growing(g, 16.0, eligible=eligible, seed_vertex=0)
+        # BFS from region seed stays within region
+        assert region[0]
+        assert 14 <= region.sum() <= 20
+
+    def test_requires_eligible_seed(self):
+        import pytest
+
+        g = adjacency_from_matrix(poisson2d(4))
+        eligible = np.zeros(16, dtype=bool)
+        with pytest.raises(ValueError):
+            greedy_graph_growing(g, 4.0, eligible=eligible, seed_vertex=0)
+
+    def test_disconnected_eligible_set_still_fills(self):
+        from repro.graph import Graph
+
+        # edgeless graph: growing must absorb arbitrary eligible vertices
+        g = Graph(np.zeros(7, dtype=np.int64), np.empty(0, dtype=np.int64))
+        eligible = np.ones(6, dtype=bool)
+        region = greedy_graph_growing(g, 3.0, eligible=eligible, seed_vertex=2)
+        assert region.sum() >= 3

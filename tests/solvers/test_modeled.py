@@ -1,0 +1,44 @@
+"""Unit tests for the modelled GMRES time helper."""
+
+import pytest
+
+from repro.machine import CRAY_T3D, IDEAL
+from repro.solvers import model_diagonal_precond_time, model_gmres_time
+
+
+class TestModelGMRESTime:
+    def test_zero_nmv_zero_time(self):
+        assert model_gmres_time(0, 1000, 20, 16, CRAY_T3D, 1e-3, 1e-3) == 0.0
+
+    def test_linear_in_nmv(self):
+        t1 = model_gmres_time(10, 1000, 20, 16, CRAY_T3D, 1e-3, 1e-3)
+        t2 = model_gmres_time(20, 1000, 20, 16, CRAY_T3D, 1e-3, 1e-3)
+        assert t2 == pytest.approx(2 * t1)
+
+    def test_includes_kernel_times(self):
+        slow_mv = model_gmres_time(10, 1000, 20, 16, CRAY_T3D, 1e-1, 1e-3)
+        fast_mv = model_gmres_time(10, 1000, 20, 16, CRAY_T3D, 1e-3, 1e-3)
+        assert slow_mv > fast_mv
+
+    def test_orthogonalisation_grows_with_restart(self):
+        small = model_gmres_time(100, 10000, 10, 16, CRAY_T3D, 0.0, 0.0)
+        large = model_gmres_time(100, 10000, 50, 16, CRAY_T3D, 0.0, 0.0)
+        assert large > small
+
+    def test_more_ranks_less_local_work(self):
+        t16 = model_gmres_time(100, 100000, 20, 16, IDEAL, 0.0, 0.0)
+        t128 = model_gmres_time(100, 100000, 20, 128, IDEAL, 0.0, 0.0)
+        assert t128 < t16
+
+    def test_allreduce_latency_appears_for_multirank(self):
+        t1 = model_gmres_time(10, 10, 20, 1, CRAY_T3D, 0.0, 0.0)
+        t64 = model_gmres_time(10, 10, 20, 64, CRAY_T3D, 0.0, 0.0)
+        # tiny local work, so the log(p) allreduce term dominates at p=64
+        assert t64 > t1
+
+
+class TestDiagonalPrecondTime:
+    def test_scales_inversely_with_ranks(self):
+        t1 = model_diagonal_precond_time(1000, 1, CRAY_T3D)
+        t10 = model_diagonal_precond_time(1000, 10, CRAY_T3D)
+        assert t10 == pytest.approx(t1 / 10)

@@ -1,0 +1,112 @@
+"""Unit tests for Jacobi / Gauss-Seidel / SOR."""
+
+import numpy as np
+import pytest
+
+from repro.matrices import poisson2d, random_diag_dominant
+from repro.solvers import SweepPreconditioner, gauss_seidel, gmres, jacobi, sor
+from repro.sparse import CSRMatrix
+
+
+class TestJacobi:
+    def test_converges_on_diag_dominant(self, rng):
+        A = random_diag_dominant(40, 4, seed=0, dominance=2.0)
+        x_true = rng.standard_normal(40)
+        res = jacobi(A, A @ x_true, maxiter=2000)
+        assert res.converged
+        assert np.allclose(res.x, x_true, atol=1e-5)
+
+    def test_zero_diag_rejected(self):
+        A = CSRMatrix.from_dense(np.array([[0.0, 1.0], [1.0, 1.0]]))
+        with pytest.raises(ZeroDivisionError):
+            jacobi(A, np.ones(2))
+
+    def test_damping_helps_poisson(self):
+        # undamped Jacobi converges on Poisson, damped also; both monotone-ish
+        A = poisson2d(8)
+        b = A @ np.ones(64)
+        res = jacobi(A, b, maxiter=5000, damping=0.8)
+        assert res.converged
+
+    def test_maxiter_respected(self, rng):
+        A = poisson2d(12)
+        res = jacobi(A, rng.standard_normal(144), maxiter=3, tol=1e-14)
+        assert not res.converged
+        assert res.iterations == 3
+
+    def test_shape_checks(self):
+        with pytest.raises(ValueError):
+            jacobi(CSRMatrix.zeros(2, 3), np.ones(2))
+        with pytest.raises(ValueError):
+            jacobi(CSRMatrix.identity(3), np.ones(4))
+
+
+class TestGaussSeidelSOR:
+    def test_gs_converges_faster_than_jacobi(self):
+        A = poisson2d(10)
+        b = A @ np.ones(100)
+        rj = jacobi(A, b, maxiter=20000)
+        rg = gauss_seidel(A, b, maxiter=20000)
+        assert rg.converged
+        assert rg.iterations < rj.iterations
+
+    def test_optimal_sor_beats_gs(self):
+        # for the 2-D Poisson problem the optimal omega ≈ 2/(1+sin(pi h))
+        nx = 10
+        A = poisson2d(nx)
+        b = A @ np.ones(nx * nx)
+        omega = 2.0 / (1.0 + np.sin(np.pi / (nx + 1)))
+        rs = sor(A, b, omega=omega, maxiter=20000)
+        rg = gauss_seidel(A, b, maxiter=20000)
+        assert rs.converged
+        assert rs.iterations < rg.iterations
+
+    def test_omega_validation(self):
+        A = poisson2d(4)
+        with pytest.raises(ValueError):
+            sor(A, np.ones(16), omega=2.5)
+        with pytest.raises(ValueError):
+            sor(A, np.ones(16), omega=0.0)
+
+    def test_exact_initial_guess(self, rng):
+        A = poisson2d(6)
+        x_true = rng.standard_normal(36)
+        res = gauss_seidel(A, A @ x_true, x0=x_true.copy(), maxiter=5)
+        assert res.converged
+
+    def test_residual_history(self):
+        A = poisson2d(6)
+        res = gauss_seidel(A, np.ones(36), maxiter=10, tol=1e-14)
+        assert len(res.residual_norms) == res.iterations + 1
+        # GS on SPD is monotone in the energy norm; 2-norm close enough here
+        assert res.residual_norms[-1] < res.residual_norms[0]
+
+
+class TestSweepPreconditioner:
+    def test_jacobi_sweeps_linear_operator(self, rng):
+        """k fixed Jacobi sweeps from zero is a linear operator."""
+        A = poisson2d(8)
+        M = SweepPreconditioner(A, method="jacobi", sweeps=3)
+        x, y = rng.standard_normal(64), rng.standard_normal(64)
+        assert np.allclose(M.apply(x + 2 * y), M.apply(x) + 2 * M.apply(y), atol=1e-10)
+
+    def test_accelerates_gmres(self, rng):
+        A = poisson2d(14)
+        b = rng.standard_normal(196)
+        plain = gmres(A, b, restart=20, maxiter=5000)
+        swept = gmres(
+            A, b, restart=20, maxiter=5000,
+            M=SweepPreconditioner(A, method="sor", sweeps=2),
+        )
+        assert swept.converged
+        assert swept.num_matvec < plain.num_matvec
+
+    def test_validation(self):
+        A = poisson2d(4)
+        with pytest.raises(ValueError):
+            SweepPreconditioner(A, method="magic")
+        with pytest.raises(ValueError):
+            SweepPreconditioner(A, sweeps=0)
+        bad = CSRMatrix.from_dense(np.array([[0.0, 1.0], [1.0, 1.0]]))
+        with pytest.raises(ZeroDivisionError):
+            SweepPreconditioner(bad)

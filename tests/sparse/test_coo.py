@@ -1,0 +1,120 @@
+"""Unit tests for the COO builder."""
+
+import numpy as np
+import pytest
+
+from repro.sparse import COOBuilder
+
+
+class TestConstruction:
+    def test_empty_builder_gives_zero_matrix(self):
+        A = COOBuilder(3).to_csr()
+        assert A.shape == (3, 3)
+        assert A.nnz == 0
+
+    def test_default_square(self):
+        b = COOBuilder(4)
+        assert b.ncols == 4
+
+    def test_rectangular(self):
+        b = COOBuilder(2, 5)
+        b.add(1, 4, 2.0)
+        A = b.to_csr()
+        assert A.shape == (2, 5)
+        assert A.get(1, 4) == 2.0
+
+    def test_negative_dims_rejected(self):
+        with pytest.raises(ValueError):
+            COOBuilder(-1)
+        with pytest.raises(ValueError):
+            COOBuilder(2, -3)
+
+    def test_zero_size_matrix(self):
+        A = COOBuilder(0).to_csr()
+        assert A.shape == (0, 0)
+        assert A.nnz == 0
+
+
+class TestAdd:
+    def test_single_entry(self):
+        b = COOBuilder(3)
+        b.add(0, 2, 5.0)
+        A = b.to_csr()
+        assert A.get(0, 2) == 5.0
+        assert A.nnz == 1
+
+    def test_duplicates_sum(self):
+        b = COOBuilder(3)
+        b.add(1, 1, 2.0)
+        b.add(1, 1, 3.0)
+        A = b.to_csr()
+        assert A.get(1, 1) == 5.0
+        assert A.nnz == 1
+
+    def test_batch(self):
+        b = COOBuilder(4)
+        b.add_batch([0, 1, 2], [1, 2, 3], [1.0, 2.0, 3.0])
+        A = b.to_csr()
+        assert A.nnz == 3
+        assert A.get(2, 3) == 3.0
+
+    def test_batch_length_mismatch(self):
+        b = COOBuilder(4)
+        with pytest.raises(ValueError):
+            b.add_batch([0, 1], [1], [1.0, 2.0])
+
+    def test_row_out_of_range(self):
+        b = COOBuilder(3)
+        with pytest.raises(IndexError):
+            b.add(3, 0, 1.0)
+        with pytest.raises(IndexError):
+            b.add(-1, 0, 1.0)
+
+    def test_col_out_of_range(self):
+        b = COOBuilder(3)
+        with pytest.raises(IndexError):
+            b.add(0, 3, 1.0)
+
+    def test_empty_batch_is_noop(self):
+        b = COOBuilder(3)
+        b.add_batch(np.empty(0), np.empty(0), np.empty(0))
+        assert b.nnz_entries == 0
+
+
+class TestFinalize:
+    def test_nnz_entries_counts_raw(self):
+        b = COOBuilder(3)
+        b.add(0, 0, 1.0)
+        b.add(0, 0, 1.0)
+        assert b.nnz_entries == 2
+        assert b.to_csr().nnz == 1
+
+    def test_drop_zeros(self):
+        b = COOBuilder(2)
+        b.add(0, 0, 1.0)
+        b.add(0, 0, -1.0)
+        b.add(1, 1, 2.0)
+        assert b.to_csr().nnz == 2  # zero kept by default
+        assert b.to_csr(drop_zeros=True).nnz == 1
+
+    def test_to_arrays_roundtrip(self):
+        b = COOBuilder(3)
+        b.add_batch([2, 0], [1, 2], [4.0, 5.0])
+        rows, cols, vals = b.to_arrays()
+        assert rows.tolist() == [2, 0]
+        assert cols.tolist() == [1, 2]
+        assert vals.tolist() == [4.0, 5.0]
+
+    def test_matches_scipy_assembly(self, rng):
+        import scipy.sparse as sp
+
+        n = 30
+        rows = rng.integers(0, n, 200)
+        cols = rng.integers(0, n, 200)
+        vals = rng.standard_normal(200)
+        b = COOBuilder(n)
+        b.add_batch(rows, cols, vals)
+        A = b.to_csr()
+        S = sp.coo_matrix((vals, (rows, cols)), shape=(n, n)).tocsr()
+        S.sum_duplicates()
+        assert np.allclose(A.to_dense(), S.toarray())

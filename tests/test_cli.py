@@ -1,0 +1,67 @@
+"""Unit tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import load_matrix, main
+
+
+class TestLoadMatrix:
+    def test_generator_specs(self):
+        assert load_matrix("g0:8").shape == (64, 64)
+        assert load_matrix("poisson3d:3").shape == (27, 27)
+        assert load_matrix("cd:5").shape == (25, 25)
+
+    def test_unknown_generator(self):
+        with pytest.raises(SystemExit):
+            load_matrix("magic:5")
+
+    def test_file_path(self, tmp_path):
+        from repro.matrices import poisson2d
+        from repro.sparse import write_matrix_market
+
+        p = tmp_path / "m.mtx"
+        write_matrix_market(poisson2d(4), p)
+        A = load_matrix(str(p))
+        assert A.shape == (16, 16)
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info", "g0:8"]) == 0
+        out = capsys.readouterr().out
+        assert "64 x 64" in out
+        assert "symmetric:  yes" in out
+
+    def test_partition(self, capsys):
+        assert main(["partition", "g0:10", "-p", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "p=4" in out and "halo exchange" in out
+
+    def test_factor_plain_and_star(self, capsys):
+        assert main(["factor", "g0:10", "-p", "2", "-m", "5", "-t", "1e-3"]) == 0
+        out = capsys.readouterr().out
+        assert "ILUT(5,0.001)" in out
+        assert main(
+            ["factor", "g0:10", "-p", "2", "-m", "5", "-t", "1e-3", "-k", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "ILUT*(5,0.001,2)" in out
+
+    def test_solve_converges(self, capsys):
+        rc = main(["solve", "g0:10", "-p", "2", "-m", "5", "-t", "1e-3"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "converged" in out
+
+    def test_generate_roundtrip(self, tmp_path, capsys):
+        out_path = tmp_path / "out.mtx"
+        assert main(["generate", "g0:6", str(out_path)]) == 0
+        from repro.sparse import read_matrix_market
+        from repro.matrices import poisson2d
+
+        assert read_matrix_market(out_path).allclose(poisson2d(6), rtol=0, atol=0)
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
