@@ -7,6 +7,9 @@ Commands
 ``factor``    parallel ILUT/ILUT* factorization summary
 ``solve``     end-to-end preconditioned GMRES solve report
 ``generate``  write a generator matrix to a MatrixMarket file
+``check``     replay a factorization under the race detector and run the
+              structural invariant checkers (``--inject`` seeds a defect
+              to prove the checkers catch it)
 
 Matrices are specified either as a generator spec (``g0:64`` for a
 64x64 grid, ``torso:2000`` for a 2000-node thorax, ``cd:40`` for
@@ -115,6 +118,91 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     return 0 if rep.converged else 1
 
 
+def _cmd_check(args: argparse.Namespace) -> int:
+    from .graph import adjacency_from_matrix
+    from .graph.distributed_mis import distributed_two_step_luby_mis
+    from .ilu import parallel_ilut, parallel_ilut_star
+    from .ilu.triangular import parallel_triangular_solve
+    from .machine import CRAY_T3D, Simulator
+    from .solvers import parallel_matvec
+    from .verify import (
+        check_csr,
+        check_decomposition,
+        check_independent_set,
+        check_lu_factors,
+        find_races,
+        racy_toy_driver,
+    )
+
+    A = load_matrix(args.matrix)
+    problems: list[str] = []
+    races = []
+
+    # 1. replay the factorization (and the kernels that consume it)
+    #    under the happens-before detector — before any injection, so the
+    #    traced runs are numerically healthy.
+    if args.k is None:
+        res = parallel_ilut(A, args.m, args.t, args.procs, seed=args.seed, trace=True)
+        label = f"ILUT({args.m},{args.t:g})"
+    else:
+        res = parallel_ilut_star(
+            A, args.m, args.t, args.k, args.procs, seed=args.seed, trace=True
+        )
+        label = f"ILUT*({args.m},{args.t:g},{args.k})"
+    races += find_races(res.trace)
+    print(f"race detector: {label} on p={args.procs}: {res.trace}")
+
+    b = A @ np.ones(A.shape[0])
+    ts = parallel_triangular_solve(res.factors, b, trace=True)
+    races += find_races(ts.trace)
+    mv = parallel_matvec(A, res.decomp, b, trace=True)
+    races += find_races(mv.trace)
+    sim_mis = Simulator(args.procs, CRAY_T3D, trace=True)
+    iset = distributed_two_step_luby_mis(
+        adjacency_from_matrix(A, symmetric=True), res.decomp.part, sim_mis,
+        seed=args.seed,
+    )
+    races += find_races(sim_mis.tracer)
+    problems += check_independent_set(res.decomp.graph, iset)
+
+    # 2. optionally corrupt the factors to prove the checkers catch it
+    factors = res.factors
+    if args.inject == "zero-diag":
+        row = factors.n // 2
+        factors.U.data[factors.U.indptr[row]] = 0.0
+        print(f"injected: zeroed U diagonal of row {row}")
+    elif args.inject == "unsorted-row":
+        U = factors.U
+        for i in range(factors.n):
+            s, e = int(U.indptr[i]), int(U.indptr[i + 1])
+            if e - s >= 3:  # swap two *tail* columns, keeping diag first
+                U.indices[s + 1], U.indices[s + 2] = U.indices[s + 2], U.indices[s + 1]
+                print(f"injected: swapped columns in U row {i}")
+                break
+
+    # 3. structural invariants
+    problems += check_csr(A, name="A")
+    problems += check_decomposition(res.decomp)
+    problems += check_lu_factors(factors, m=args.m)
+
+    # 4. the adversarial self-test: a deliberately racy toy driver
+    if args.inject == "race":
+        sim = Simulator(max(2, args.procs), CRAY_T3D, trace=True)
+        racy_toy_driver(sim)
+        races += find_races(sim.tracer)
+        print("injected: unsynchronised two-rank interface-row write")
+
+    for r in races:
+        print(f"RACE: {r.describe()}")
+    for p in problems:
+        print(f"INVARIANT: {p}")
+    if races or problems:
+        print(f"check FAILED: {len(races)} race(s), {len(problems)} violation(s)")
+        return 1
+    print(f"check OK: 0 races, 0 invariant violations (q={res.num_levels} levels)")
+    return 0
+
+
 def _cmd_generate(args: argparse.Namespace) -> int:
     from .sparse import write_matrix_market
 
@@ -150,7 +238,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_fact.add_argument("-p", "--procs", type=int, default=16)
     p_fact.add_argument("-m", type=int, default=10, help="max kept per L/U row")
     p_fact.add_argument("-t", type=float, default=1e-4, help="relative drop tolerance")
-    p_fact.add_argument("-k", type=int, default=None, help="ILUT* reduced-row cap factor (omit for plain ILUT)")
+    p_fact.add_argument(
+        "-k", type=int, default=None,
+        help="ILUT* reduced-row cap factor (omit for plain ILUT)",
+    )
     p_fact.add_argument("--seed", type=int, default=0)
     p_fact.set_defaults(func=_cmd_factor)
 
@@ -164,6 +255,24 @@ def build_parser() -> argparse.ArgumentParser:
     p_solve.add_argument("--tol", type=float, default=1e-8)
     p_solve.add_argument("--seed", type=int, default=0)
     p_solve.set_defaults(func=_cmd_solve)
+
+    p_check = sub.add_parser(
+        "check", help="race-detect a factorization replay + structural invariants"
+    )
+    p_check.add_argument(
+        "matrix", nargs="?", default="g0:12",
+        help="generator spec or .mtx path (default: g0:12)",
+    )
+    p_check.add_argument("-p", "--procs", type=int, default=4)
+    p_check.add_argument("-m", type=int, default=5)
+    p_check.add_argument("-t", type=float, default=1e-4)
+    p_check.add_argument("-k", type=int, default=None)
+    p_check.add_argument("--seed", type=int, default=0)
+    p_check.add_argument(
+        "--inject", choices=("zero-diag", "unsorted-row", "race"), default=None,
+        help="seed a defect to verify the checkers report it (exit 1)",
+    )
+    p_check.set_defaults(func=_cmd_check)
 
     p_gen = sub.add_parser("generate", help="write a generator matrix to .mtx")
     add_matrix(p_gen)

@@ -29,6 +29,23 @@ from .structure import Graph
 __all__ = ["distributed_two_step_luby_mis", "mis_comm_setup"]
 
 
+def _boundary_sets(graph: Graph, part: np.ndarray) -> dict[tuple[int, int], np.ndarray]:
+    """``{(src, dst): vertices}`` — ``src``'s vertices whose key/flag some
+    vertex of ``dst`` reads (i.e. boundary vertices shipped each round)."""
+    boundary: dict[tuple[int, int], set[int]] = {}
+    for v in range(graph.nvertices):
+        pv = int(part[v])
+        for u in graph.neighbors(v):
+            pu = int(part[u])
+            if pu != pv:
+                # v reads u's key -> u's owner must send u to v's owner
+                boundary.setdefault((pu, pv), set()).add(int(u))
+    return {
+        key: np.asarray(sorted(vs), dtype=np.int64)
+        for key, vs in sorted(boundary.items())
+    }
+
+
 def mis_comm_setup(
     graph: Graph, part: np.ndarray, sim: Simulator | None = None
 ) -> dict[tuple[int, int], int]:
@@ -39,14 +56,7 @@ def mis_comm_setup(
     ``dst`` each round).  Charges the setup scan to the simulator.
     """
     part = np.asarray(part, dtype=np.int64)
-    boundary: dict[tuple[int, int], set[int]] = {}
-    for v in range(graph.nvertices):
-        pv = int(part[v])
-        for u in graph.neighbors(v):
-            pu = int(part[u])
-            if pu != pv:
-                # v reads u's key -> u's owner must send u to v's owner
-                boundary.setdefault((pu, pv), set()).add(int(u))
+    sets = _boundary_sets(graph, part)
     if sim is not None:
         # one scan over all adjacency entries, split across owners
         per_rank = np.zeros(sim.nranks)
@@ -55,7 +65,7 @@ def mis_comm_setup(
         for r in range(sim.nranks):
             sim.compute(r, float(per_rank[r]))
         sim.barrier()
-    return {key: len(vs) for key, vs in sorted(boundary.items())}
+    return {key: int(vs.size) for key, vs in sets.items()}
 
 
 def distributed_two_step_luby_mis(
@@ -82,6 +92,8 @@ def distributed_two_step_luby_mis(
         raise ValueError("part references a rank outside the simulator")
 
     pattern = mis_comm_setup(graph, part, sim)
+    tr = sim.tracer
+    bsets = _boundary_sets(graph, part) if tr is not None else {}
 
     # cost accounting per round: two scan+exchange+barrier steps
     degrees = np.diff(graph.xadj)
@@ -91,10 +103,20 @@ def distributed_two_step_luby_mis(
         for step in ("insert", "remove"):
             for r in range(sim.nranks):
                 sim.compute(r, float(per_rank_edges[r]))
+            if tr is not None:
+                # each owner updates its boundary flags before shipping them
+                for (src, _dst), verts in bsets.items():
+                    for v in verts:
+                        tr.write(src, "mis-flag", int(v))
             for (src, dst), count in pattern.items():
                 sim.send(src, dst, None, float(count), tag=("mis", rnd, step))
             for (src, dst), _count in pattern.items():
                 sim.recv(dst, src, tag=("mis", rnd, step))
+            if tr is not None:
+                # receivers consume the shipped flags of their ghosts
+                for (_src, dst), verts in bsets.items():
+                    for v in verts:
+                        tr.read(dst, "mis-flag", int(v))
             sim.barrier()
 
     # the numerics: the exact serial state machine (keys are globally

@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
+from typing import Callable
 
 import numpy as np
 
@@ -107,6 +108,17 @@ class EliminationEngine:
         Seed for the per-level MIS randomness.
     diag_guard:
         Replace exactly-zero pivots with the row's relative tolerance.
+    level_hook:
+        Optional callback ``level_hook(level, iset, reduced)`` invoked
+        after phase 1 (``level=-1``, empty ``iset``) and after every
+        phase-2 update, with the live reduced-row dict — used by tests to
+        assert per-level invariants such as the 3rd dropping rule's
+        ``k*m`` cap.
+
+    When ``sim`` was built with ``trace=True``, every shared-object
+    access (A rows, U rows, L rows, reduced rows) is declared to the
+    simulator's tracer, so the race detector can certify the ownership
+    discipline of both phases.
     """
 
     def __init__(
@@ -121,6 +133,7 @@ class EliminationEngine:
         seed: int = 0,
         diag_guard: bool = True,
         max_levels: int | None = None,
+        level_hook: Callable[[int, np.ndarray, dict], None] | None = None,
     ) -> None:
         if m < 0:
             raise ValueError(f"m must be non-negative, got {m}")
@@ -139,6 +152,8 @@ class EliminationEngine:
         self.seed = int(seed)
         self.diag_guard = diag_guard
         self.max_levels = max_levels if max_levels is not None else self.n + 1
+        self.level_hook = level_hook
+        self._tr = sim.tracer if sim is not None else None
 
         self.norms = self.A.row_norms(ord=2)
         self.pos = np.full(self.n, -1, dtype=np.int64)  # elimination position
@@ -203,6 +218,8 @@ class EliminationEngine:
         for i_arr in interior:
             i = int(i_arr)
             cols, vals = self.A.row(i)
+            if self._tr is not None:
+                self._tr.read(rank, "A-row", i)
             w.load(cols, vals)
             tau = self._tau(i)
             row_ops = 0
@@ -218,6 +235,8 @@ class EliminationEngine:
                 wk = w.get(k)
                 if wk == 0.0:
                     continue
+                if self._tr is not None:
+                    self._tr.read(rank, "u-row", k)
                 ucols, uvals = self.u_rows[k]
                 wk = wk / uvals[0]
                 row_ops += 1
@@ -249,6 +268,9 @@ class EliminationEngine:
                 np.concatenate(([i], uc)).astype(np.int64),
                 np.concatenate(([diag], uv)),
             )
+            if self._tr is not None:
+                self._tr.write(rank, "l-row", i)
+                self._tr.write(rank, "u-row", i)
             self.pos[i] = len(self.order)
             self.order.append(i)
             is_earlier[i] = True
@@ -269,6 +291,8 @@ class EliminationEngine:
         for i_arr in self.decomp.interface_rows(rank):
             i = int(i_arr)
             cols, vals = self.A.row(i)
+            if self._tr is not None:
+                self._tr.read(rank, "A-row", i)
             w.load(cols, vals)
             tau = self._tau(i)
             row_ops = 0
@@ -283,6 +307,8 @@ class EliminationEngine:
                 wk = w.get(k)
                 if wk == 0.0:
                     continue
+                if self._tr is not None:
+                    self._tr.read(rank, "u-row", k)
                 ucols, uvals = self.u_rows[k]
                 wk = wk / uvals[0]
                 row_ops += 1
@@ -315,6 +341,9 @@ class EliminationEngine:
             rv_k = np.insert(rv_k, ins, diag_val)
             self.l_rows[i] = (lc, lv)
             self.reduced[i] = (rc_k, rv_k)
+            if self._tr is not None:
+                self._tr.write(rank, "l-row", i)
+                self._tr.write(rank, "reduced-row", i)
             w.reset()
             self._charge_ops(rank, row_ops)
             self._charge_copy(rank, float(rc_k.size + lc.size))
@@ -340,6 +369,9 @@ class EliminationEngine:
         adj_chunks: list[np.ndarray] = []
         for idx, g in enumerate(remaining):
             cols, _ = self.reduced[int(g)]
+            if self._tr is not None:
+                # each owner scans the structure of its own reduced rows
+                self._tr.read(int(self.decomp.part[g]), "reduced-row", int(g))
             nb = cols[cols != g]
             mapped = np.asarray([local_of[int(c)] for c in nb], dtype=np.int64)
             adj_chunks.append(mapped)
@@ -387,6 +419,8 @@ class EliminationEngine:
         for i_arr in iset:
             i = int(i_arr)
             cols, vals = self.reduced.pop(i)
+            if self._tr is not None:
+                self._tr.read(int(part[i]), "reduced-row", i)
             tau = self._tau(i)
             on = cols == i
             diag = float(vals[on][0]) if np.any(on) else 0.0
@@ -397,6 +431,8 @@ class EliminationEngine:
                 np.concatenate(([i], uc)).astype(np.int64),
                 np.concatenate(([diag], uv)),
             )
+            if self._tr is not None:
+                self._tr.write(int(part[i]), "u-row", i)
             self.pos[i] = len(self.order)
             self.order.append(i)
             self._charge_ops(int(part[i]), float(cols.size))
@@ -450,6 +486,8 @@ class EliminationEngine:
             tau = self._tau(i)
             rank = int(part[i])
             row_ops = 0
+            if self._tr is not None:
+                self._tr.read(rank, "reduced-row", i)
             w.load(cols, vals)
             new_l_cols: list[int] = []
             new_l_vals: list[float] = []
@@ -459,6 +497,8 @@ class EliminationEngine:
                 w.drop(k)
                 if wk == 0.0:
                     continue
+                if self._tr is not None:
+                    self._tr.read(rank, "u-row", k)
                 ucols, uvals = self.u_rows[k]
                 wk = wk / uvals[0]
                 row_ops += 1
@@ -492,6 +532,9 @@ class EliminationEngine:
             rc_k = np.insert(rc_k, ins, i)
             rv_k = np.insert(rv_k, ins, diag_val)
             self.reduced[i] = (rc_k, rv_k)
+            if self._tr is not None:
+                self._tr.write(rank, "l-row", i)
+                self._tr.write(rank, "reduced-row", i)
             self._charge_ops(rank, row_ops)
             self._charge_copy(rank, float(rc_k.size + lc_m.size))
 
@@ -510,6 +553,8 @@ class EliminationEngine:
         for r in range(nranks):
             self._reduce_interface_rows(r)
         self._barrier()  # end of phase 1
+        if self.level_hook is not None:
+            self.level_hook(-1, np.empty(0, dtype=np.int64), self.reduced)
 
         interface_levels: list[np.ndarray] = []
         level = 0
@@ -526,6 +571,8 @@ class EliminationEngine:
             self._factor_level(iset)
             self._exchange_level_rows(iset, level)
             self._update_remaining(iset)
+            if self.level_hook is not None:
+                self.level_hook(level, iset, self.reduced)
             interface_levels.append(
                 np.arange(pos_start, len(self.order), dtype=np.int64)
             )

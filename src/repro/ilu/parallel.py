@@ -9,12 +9,16 @@ statistics and the independent-set level structure (the paper's ``q``).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from ..decomp import DomainDecomposition, decompose
 from ..machine import CRAY_T3D, CommStats, MachineModel, Simulator
 from ..sparse import CSRMatrix
 from .elimination import EliminationEngine
 from .factors import ILUFactors
+
+if TYPE_CHECKING:
+    from ..verify.trace import AccessTracer
 
 __all__ = ["ParallelILUResult", "parallel_ilut", "parallel_ilut_star"]
 
@@ -38,6 +42,9 @@ class ParallelILUResult:
         when run without a simulator).
     comm:
         Aggregate simulator counters (``None`` without a simulator).
+    trace:
+        The simulator's access tracer when run with ``trace=True`` —
+        feed it to :func:`repro.verify.find_races`.
     """
 
     factors: ILUFactors
@@ -48,6 +55,7 @@ class ParallelILUResult:
     comm: CommStats | None
     flops: float
     words_copied: float
+    trace: AccessTracer | None = None
 
     @property
     def nranks(self) -> int:
@@ -68,6 +76,7 @@ def parallel_ilut(
     mis_rounds: int = 5,
     seed: int = 0,
     diag_guard: bool = True,
+    trace: bool = False,
 ) -> ParallelILUResult:
     """Factor ``A`` with parallel ILUT(m, t) on ``nranks`` simulated PEs.
 
@@ -95,6 +104,9 @@ def parallel_ilut(
         Luby augmentation rounds per level (paper: 5).
     seed:
         Seed for partitioning and MIS randomness.
+    trace:
+        Record shared-object accesses for race detection (requires
+        ``simulate=True``); see :mod:`repro.verify`.
     """
     if decomp is None:
         decomp = decompose(A, nranks, method=method, seed=seed)
@@ -102,7 +114,9 @@ def parallel_ilut(
         raise ValueError(
             f"decomp has {decomp.nranks} ranks but nranks={nranks} was requested"
         )
-    sim = Simulator(nranks, model) if simulate else None
+    if trace and not simulate:
+        raise ValueError("trace=True requires simulate=True")
+    sim = Simulator(nranks, model, trace=trace) if simulate else None
     engine = EliminationEngine(
         decomp,
         m,
@@ -123,6 +137,7 @@ def parallel_ilut(
         comm=sim.stats() if sim is not None else None,
         flops=outcome.flops,
         words_copied=outcome.words_copied,
+        trace=sim.tracer if sim is not None else None,
     )
 
 

@@ -23,11 +23,15 @@ measure.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from ..machine import CRAY_T3D, CommStats, MachineModel, Simulator
 from .factors import ILUFactors
+
+if TYPE_CHECKING:
+    from ..verify.trace import AccessTracer
 
 __all__ = ["TriangularSolveResult", "parallel_triangular_solve"]
 
@@ -40,6 +44,7 @@ class TriangularSolveResult:
     modeled_time: float | None
     comm: CommStats | None
     flops: float
+    trace: AccessTracer | None = None
 
 
 def _cross_rank_receivers(
@@ -81,6 +86,7 @@ def parallel_triangular_solve(
     nranks: int | None = None,
     model: MachineModel = CRAY_T3D,
     simulate: bool = True,
+    trace: bool = False,
 ) -> TriangularSolveResult:
     """Apply the preconditioner ``M^{-1} b`` with the two-phase schedule.
 
@@ -101,7 +107,10 @@ def parallel_triangular_solve(
         raise ValueError(f"b has shape {b.shape}, expected ({n},)")
     if nranks is None:
         nranks = int(owner.max()) + 1 if owner.size else 1
-    sim = Simulator(nranks, model) if simulate else None
+    if trace and not simulate:
+        raise ValueError("trace=True requires simulate=True")
+    sim = Simulator(nranks, model, trace=trace) if simulate else None
+    tr = sim.tracer if sim is not None else None
     L, U = factors.L, factors.U
     flops_total = 0.0
 
@@ -123,8 +132,12 @@ def parallel_triangular_solve(
         for i in range(s, e):
             cols, vals = L.row(i)
             if cols.size:
+                if tr is not None:
+                    tr.read_many(rank, "x", cols)
                 y[i] -= np.dot(vals, y[cols])
                 fl += 2 * cols.size
+            if tr is not None:
+                tr.write(rank, "x", i)
         charge(rank, fl)
     if sim is not None:
         sim.barrier()
@@ -135,7 +148,11 @@ def parallel_triangular_solve(
         for p in positions:
             cols, vals = L.row(int(p))
             if cols.size:
+                if tr is not None:
+                    tr.read_many(int(owner[p]), "x", cols)
                 y[p] -= np.dot(vals, y[cols])
+            if tr is not None:
+                tr.write(int(owner[p]), "x", int(p))
             per_rank_fl[int(owner[p])] = per_rank_fl.get(int(owner[p]), 0.0) + 2.0 * cols.size
         for rank, fl in sorted(per_rank_fl.items()):
             charge(rank, fl)
@@ -157,8 +174,12 @@ def parallel_triangular_solve(
             cols, vals = U.row(int(p))
             # diagonal stored first (position p itself)
             if cols.size > 1:
+                if tr is not None:
+                    tr.read_many(int(owner[p]), "x", cols[1:])
                 x[p] -= np.dot(vals[1:], x[cols[1:]])
             x[p] /= vals[0]
+            if tr is not None:
+                tr.write(int(owner[p]), "x", int(p))
             per_rank_fl[int(owner[p])] = (
                 per_rank_fl.get(int(owner[p]), 0.0) + 2.0 * (cols.size - 1) + 1.0
             )
@@ -180,8 +201,12 @@ def parallel_triangular_solve(
         for i in range(e - 1, s - 1, -1):
             cols, vals = U.row(i)
             if cols.size > 1:
+                if tr is not None:
+                    tr.read_many(rank, "x", cols[1:])
                 x[i] -= np.dot(vals[1:], x[cols[1:]])
             x[i] /= vals[0]
+            if tr is not None:
+                tr.write(rank, "x", i)
             fl += 2.0 * (cols.size - 1) + 1.0
         charge(rank, fl)
     if sim is not None:
@@ -194,4 +219,5 @@ def parallel_triangular_solve(
         modeled_time=sim.elapsed() if sim is not None else None,
         comm=sim.stats() if sim is not None else None,
         flops=flops_total,
+        trace=tr,
     )

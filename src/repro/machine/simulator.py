@@ -30,17 +30,32 @@ Timing semantics
 The simulator is single-threaded and deterministic: "ranks" are just
 indices, and the driver code interleaves their work explicitly, which is
 exactly the superstep structure of the algorithms in the paper.
+
+Race detection
+--------------
+With ``trace=True`` the simulator carries an
+:class:`~repro.verify.trace.AccessTracer`: every ``send`` attaches the
+sender's vector clock to the message, every ``recv`` joins it into the
+receiver's, and barriers/collectives join all clocks — so instrumented
+drivers can declare shared-object accesses via :meth:`declare_read` /
+:meth:`declare_write` and :func:`repro.verify.find_races` can check that
+conflicting cross-rank accesses are ordered by synchronisation.  The
+default ``trace=False`` keeps ``self.tracer`` as ``None`` and the hot
+path pays nothing beyond a ``None`` check per communication call.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict, deque
 from dataclasses import dataclass, field
-from typing import Any
+from typing import TYPE_CHECKING, Any, Iterable
 
 import numpy as np
 
 from .model import MachineModel
+
+if TYPE_CHECKING:
+    from ..verify.trace import AccessTracer
 
 __all__ = ["Simulator", "CommStats"]
 
@@ -71,7 +86,7 @@ class CommStats:
 class Simulator:
     """A virtual ``nranks``-PE distributed-memory machine."""
 
-    def __init__(self, nranks: int, model: MachineModel) -> None:
+    def __init__(self, nranks: int, model: MachineModel, *, trace: bool = False) -> None:
         if nranks < 1:
             raise ValueError(f"nranks must be >= 1, got {nranks}")
         self.nranks = int(nranks)
@@ -79,12 +94,23 @@ class Simulator:
         self.clock = np.zeros(self.nranks, dtype=np.float64)
         self._flops = np.zeros(self.nranks, dtype=np.float64)
         self._busy = np.zeros(self.nranks, dtype=np.float64)
-        # mailbox[(src, dst, tag)] -> FIFO of (arrival_time, payload, nwords)
-        self._mail: dict[tuple[int, int, Any], deque] = defaultdict(deque)
+        # mailbox[(src, dst, tag)] -> FIFO of
+        # (arrival_time, payload, nwords, attached_vector_clock_or_None)
+        self._mail: dict[
+            tuple[int, int, Any],
+            deque[tuple[float, Any, float, tuple[int, ...] | None]],
+        ] = defaultdict(deque)
         self._messages = 0
         self._words = 0.0
         self._barriers = 0
         self._collectives = 0
+        self.tracer: AccessTracer | None = None
+        if trace:
+            # imported lazily: verify pulls in the ilu/graph layers, which
+            # depend on this module — eager import would cycle.
+            from ..verify.trace import AccessTracer
+
+            self.tracer = AccessTracer(self.nranks)
 
     # ------------------------------------------------------------------
     # local work
@@ -122,16 +148,17 @@ class Simulator:
         dst = self._check_rank(dst)
         if nwords < 0:
             raise ValueError("nwords must be non-negative")
+        attached = self.tracer.on_send(src) if self.tracer is not None else None
         if src == dst:
             # local hand-off: free, but keep FIFO semantics
-            self._mail[(src, dst, tag)].append((self.clock[src], payload, 0.0))
+            self._mail[(src, dst, tag)].append((self.clock[src], payload, 0.0, attached))
             return
         cost = self.model.message_cost(nwords)
         arrival = self.clock[src] + cost
         # sender pays the injection (latency) portion; overlap of the
         # transfer with computation is the usual MPI eager-protocol model
         self.clock[src] += self.model.latency
-        self._mail[(src, dst, tag)].append((arrival, payload, nwords))
+        self._mail[(src, dst, tag)].append((arrival, payload, nwords, attached))
         self._messages += 1
         self._words += nwords
 
@@ -145,9 +172,11 @@ class Simulator:
                 f"deadlock: rank {dst} receives from {src} (tag={tag!r}) "
                 "but no message was sent"
             )
-        arrival, payload, _ = box.popleft()
+        arrival, payload, _, attached = box.popleft()
         if arrival > self.clock[dst]:
             self.clock[dst] = arrival
+        if self.tracer is not None:
+            self.tracer.on_recv(dst, attached)
         return payload
 
     def exchange(
@@ -179,6 +208,8 @@ class Simulator:
         log2(p)-step synchronisation tree (zero-payload collective)."""
         self.clock[:] = self.clock.max() + self.model.collective_cost(self.nranks, 0.0)
         self._barriers += 1
+        if self.tracer is not None:
+            self.tracer.on_collective()
 
     def allreduce(self, values: np.ndarray | list, op: str = "sum") -> Any:
         """Reduce a per-rank scalar/array; all ranks get the result.
@@ -194,6 +225,8 @@ class Simulator:
         cost = self.model.collective_cost(self.nranks, nwords)
         self.clock[:] = self.clock.max() + cost
         self._collectives += 1
+        if self.tracer is not None:
+            self.tracer.on_collective()
         if op == "sum":
             return arr.sum(axis=0)
         if op == "max":
@@ -213,7 +246,29 @@ class Simulator:
         cost = self.model.collective_cost(self.nranks, nwords_each * self.nranks)
         self.clock[:] = self.clock.max() + cost
         self._collectives += 1
+        if self.tracer is not None:
+            self.tracer.on_collective()
         return list(values)
+
+    # ------------------------------------------------------------------
+    # access declarations (no-ops unless trace=True)
+    # ------------------------------------------------------------------
+
+    def declare_read(self, rank: int, space: str, indices: int | Iterable[int]) -> None:
+        """Declare that ``rank`` reads shared object(s) ``(space, indices)``.
+
+        Free when the simulator was built with ``trace=False``.
+        """
+        if self.tracer is not None:
+            if isinstance(indices, (int, np.integer)):
+                self.tracer.read(rank, space, int(indices))
+            else:
+                self.tracer.read_many(rank, space, indices)
+
+    def declare_write(self, rank: int, space: str, index: int) -> None:
+        """Declare that ``rank`` writes shared object ``(space, index)``."""
+        if self.tracer is not None:
+            self.tracer.write(rank, space, int(index))
 
     # ------------------------------------------------------------------
     # results

@@ -12,12 +12,16 @@ partitions).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from ..decomp import DomainDecomposition
 from ..machine import CRAY_T3D, CommStats, MachineModel, Simulator
 from ..sparse import CSRMatrix
+
+if TYPE_CHECKING:
+    from ..verify.trace import AccessTracer
 
 __all__ = ["MatvecResult", "parallel_matvec"]
 
@@ -30,6 +34,7 @@ class MatvecResult:
     modeled_time: float | None
     comm: CommStats | None
     flops: float
+    trace: AccessTracer | None = None
 
 
 def parallel_matvec(
@@ -40,6 +45,7 @@ def parallel_matvec(
     model: MachineModel = CRAY_T3D,
     simulate: bool = True,
     halo_plan: dict[tuple[int, int], np.ndarray] | None = None,
+    trace: bool = False,
 ) -> MatvecResult:
     """Compute ``y = A @ x`` with halo exchange + local compute.
 
@@ -50,10 +56,18 @@ def parallel_matvec(
     n = A.shape[0]
     if x.shape != (n,):
         raise ValueError(f"x has shape {x.shape}, expected ({n},)")
-    sim = Simulator(decomp.nranks, model) if simulate else None
+    if trace and not simulate:
+        raise ValueError("trace=True requires simulate=True")
+    sim = Simulator(decomp.nranks, model, trace=trace) if simulate else None
+    tr = sim.tracer if sim is not None else None
     if halo_plan is None:
         halo_plan = decomp.halo_plan()
 
+    if tr is not None:
+        # each rank publishes its owned x entries before the exchange
+        for r in range(decomp.nranks):
+            for j in decomp.owned_rows(r):
+                tr.write(r, "x", int(j))
     if sim is not None:
         for (src, dst), nodes in halo_plan.items():
             sim.send(src, dst, None, float(nodes.size), tag="halo")
@@ -69,7 +83,11 @@ def parallel_matvec(
         for i in rows:
             cols, vals = A.row(int(i))
             if cols.size:
+                if tr is not None:
+                    tr.read_many(r, "x", cols)
                 y[i] = np.dot(vals, x[cols])
+            if tr is not None:
+                tr.write(r, "y", int(i))
             fl += 2.0 * row_nnz[i]
         if sim is not None:
             sim.compute(r, fl)
@@ -81,4 +99,5 @@ def parallel_matvec(
         modeled_time=sim.elapsed() if sim is not None else None,
         comm=sim.stats() if sim is not None else None,
         flops=flops_total,
+        trace=tr,
     )

@@ -91,7 +91,7 @@ class COOBuilder:
             np.concatenate(self._vals),
         )
 
-    def to_csr(self, *, drop_zeros: bool = False) -> "CSRMatrix":
+    def to_csr(self, *, drop_zeros: bool = False) -> CSRMatrix:
         """Finalise into a :class:`~repro.sparse.csr.CSRMatrix`.
 
         Duplicate ``(i, j)`` entries are summed.  If ``drop_zeros`` is

@@ -66,7 +66,7 @@ class CSRMatrix:
         shape: tuple[int, int],
         *,
         drop_zeros: bool = False,
-    ) -> "CSRMatrix":
+    ) -> CSRMatrix:
         """Build from coordinate triplets, summing duplicates."""
         nrows, ncols = int(shape[0]), int(shape[1])
         rows = np.asarray(rows, dtype=np.int64)
@@ -100,7 +100,7 @@ class CSRMatrix:
         return cls(indptr, cols, vals, (nrows, ncols), check=False)
 
     @classmethod
-    def from_dense(cls, dense: np.ndarray, *, tol: float = 0.0) -> "CSRMatrix":
+    def from_dense(cls, dense: np.ndarray, *, tol: float = 0.0) -> CSRMatrix:
         """Build from a dense 2-D array, keeping entries with ``|a| > tol``."""
         dense = np.asarray(dense, dtype=np.float64)
         if dense.ndim != 2:
@@ -109,7 +109,7 @@ class CSRMatrix:
         return cls.from_coo(rows, cols, dense[rows, cols], dense.shape)
 
     @classmethod
-    def identity(cls, n: int) -> "CSRMatrix":
+    def identity(cls, n: int) -> CSRMatrix:
         """The n-by-n identity matrix."""
         idx = np.arange(n, dtype=np.int64)
         return cls(
@@ -121,7 +121,7 @@ class CSRMatrix:
         )
 
     @classmethod
-    def zeros(cls, nrows: int, ncols: int | None = None) -> "CSRMatrix":
+    def zeros(cls, nrows: int, ncols: int | None = None) -> CSRMatrix:
         """An all-zero (empty pattern) matrix."""
         ncols = nrows if ncols is None else ncols
         return cls(
@@ -138,19 +138,55 @@ class CSRMatrix:
             raise ValueError(
                 f"indptr has shape {self.indptr.shape}, expected ({nrows + 1},)"
             )
-        if self.indptr[0] != 0 or self.indptr[-1] != self.indices.size:
-            raise ValueError("indptr must start at 0 and end at nnz")
-        if np.any(np.diff(self.indptr) < 0):
-            raise ValueError("indptr must be non-decreasing")
+        if self.indptr[0] != 0:
+            raise ValueError(f"indptr[0] = {int(self.indptr[0])}, expected 0")
+        if self.indptr[-1] != self.indices.size:
+            raise ValueError(
+                f"indptr[-1] = {int(self.indptr[-1])} does not equal "
+                f"nnz = {self.indices.size}"
+            )
+        drops = np.flatnonzero(np.diff(self.indptr) < 0)
+        if drops.size:
+            i = int(drops[0])
+            raise ValueError(
+                f"indptr decreases at row {i} "
+                f"({int(self.indptr[i])} -> {int(self.indptr[i + 1])})"
+            )
         if self.indices.size != self.data.size:
-            raise ValueError("indices and data must have equal length")
+            raise ValueError(
+                f"indices ({self.indices.size}) and data ({self.data.size}) "
+                "must have equal length"
+            )
         if self.indices.size:
-            if self.indices.min() < 0 or self.indices.max() >= ncols:
-                raise IndexError("column index out of range")
-        for i in range(nrows):
-            s, e = self.indptr[i], self.indptr[i + 1]
-            if e - s > 1 and np.any(np.diff(self.indices[s:e]) <= 0):
-                raise ValueError(f"row {i} has unsorted or duplicate column indices")
+            bad = (self.indices < 0) | (self.indices >= ncols)
+            if bad.any():
+                pos = int(np.argmax(bad))
+                row = int(np.searchsorted(self.indptr, pos, side="right") - 1)
+                off = pos - int(self.indptr[row])
+                raise IndexError(
+                    f"row {row}, offset {off}: column index "
+                    f"{int(self.indices[pos])} out of range [0, {ncols})"
+                )
+        if self.indices.size > 1:
+            d = np.diff(self.indices)
+            # adjacent-pair positions that straddle a row boundary are exempt
+            boundary = np.zeros(d.size, dtype=bool)
+            starts = self.indptr[1:-1]
+            starts = starts[(starts >= 1) & (starts < self.indices.size)]
+            boundary[starts - 1] = True
+            viol = (d <= 0) & ~boundary
+            if viol.any():
+                k = int(np.argmax(viol))
+                row = int(np.searchsorted(self.indptr, k, side="right") - 1)
+                off = k - int(self.indptr[row])
+                kind = (
+                    "duplicate" if self.indices[k + 1] == self.indices[k] else "unsorted"
+                )
+                raise ValueError(
+                    f"row {row} has {kind} column indices at offsets "
+                    f"{off} -> {off + 1} (columns {int(self.indices[k])} -> "
+                    f"{int(self.indices[k + 1])})"
+                )
 
     # ------------------------------------------------------------------
     # basic properties
@@ -235,7 +271,7 @@ class CSRMatrix:
         np.add.at(x, self.indices, self.data * y[row_ids])
         return x
 
-    def transpose(self) -> "CSRMatrix":
+    def transpose(self) -> CSRMatrix:
         """Return ``A.T`` as a new CSR matrix."""
         nrows, ncols = self.shape
         row_ids = np.repeat(np.arange(nrows, dtype=np.int64), np.diff(self.indptr))
@@ -243,14 +279,14 @@ class CSRMatrix:
             self.indices, row_ids, self.data, (ncols, nrows)
         )
 
-    def scale(self, alpha: float) -> "CSRMatrix":
+    def scale(self, alpha: float) -> CSRMatrix:
         """Return ``alpha * A``."""
         return CSRMatrix(
             self.indptr.copy(), self.indices.copy(), self.data * alpha, self.shape,
             check=False,
         )
 
-    def add(self, other: "CSRMatrix") -> "CSRMatrix":
+    def add(self, other: CSRMatrix) -> CSRMatrix:
         """Return ``A + B`` (patterns merged)."""
         if self.shape != other.shape:
             raise ValueError(f"shape mismatch: {self.shape} vs {other.shape}")
@@ -264,13 +300,13 @@ class CSRMatrix:
             self.shape,
         )
 
-    def __add__(self, other: "CSRMatrix") -> "CSRMatrix":
+    def __add__(self, other: CSRMatrix) -> CSRMatrix:
         return self.add(other)
 
-    def __sub__(self, other: "CSRMatrix") -> "CSRMatrix":
+    def __sub__(self, other: CSRMatrix) -> CSRMatrix:
         return self.add(other.scale(-1.0))
 
-    def matmat(self, other: "CSRMatrix") -> "CSRMatrix":
+    def matmat(self, other: CSRMatrix) -> CSRMatrix:
         """Sparse matrix-matrix product ``A @ B`` (row-merge algorithm)."""
         if self.shape[1] != other.shape[0]:
             raise ValueError(f"inner dims mismatch: {self.shape} @ {other.shape}")
@@ -285,7 +321,7 @@ class CSRMatrix:
             # accumulate sum_k a_ik * B[k, :]
             pieces_c = []
             pieces_v = []
-            for k, a in zip(acols, avals):
+            for k, a in zip(acols, avals, strict=True):
                 bcols, bvals = other.row(int(k))
                 if bcols.size:
                     pieces_c.append(bcols)
@@ -312,7 +348,7 @@ class CSRMatrix:
 
     def permute(
         self, row_perm: np.ndarray | None = None, col_perm: np.ndarray | None = None
-    ) -> "CSRMatrix":
+    ) -> CSRMatrix:
         """Symmetric-style permutation ``B = A[row_perm][:, col_perm]``.
 
         ``row_perm[k]`` gives the *original* index placed at new position
@@ -344,7 +380,7 @@ class CSRMatrix:
             data[ds:de] = self.data[s:e][order]
         return CSRMatrix(indptr, indices, data, self.shape, check=False)
 
-    def submatrix(self, rows: np.ndarray, cols: np.ndarray) -> "CSRMatrix":
+    def submatrix(self, rows: np.ndarray, cols: np.ndarray) -> CSRMatrix:
         """Extract ``A[rows][:, cols]`` with re-numbered indices.
 
         ``rows`` and ``cols`` are arrays of original indices; the result
@@ -376,7 +412,7 @@ class CSRMatrix:
             (rows.size, cols.size),
         )
 
-    def drop_small(self, tol: float) -> "CSRMatrix":
+    def drop_small(self, tol: float) -> CSRMatrix:
         """Return a copy without entries of magnitude ``< tol``."""
         keep = np.abs(self.data) >= tol
         nrows = self.shape[0]
@@ -393,7 +429,7 @@ class CSRMatrix:
             out[i, cols] = vals
         return out
 
-    def copy(self) -> "CSRMatrix":
+    def copy(self) -> CSRMatrix:
         return CSRMatrix(
             self.indptr.copy(), self.indices.copy(), self.data.copy(), self.shape,
             check=False,
@@ -423,7 +459,7 @@ class CSRMatrix:
     def frobenius_norm(self) -> float:
         return float(np.sqrt(np.dot(self.data, self.data)))
 
-    def allclose(self, other: "CSRMatrix", rtol: float = 1e-10, atol: float = 1e-12) -> bool:
+    def allclose(self, other: CSRMatrix, rtol: float = 1e-10, atol: float = 1e-12) -> bool:
         """Structural-and-numeric comparison after canonicalisation."""
         if self.shape != other.shape:
             return False

@@ -17,19 +17,19 @@ from .csr import CSRMatrix
 __all__ = ["write_matrix_market", "read_matrix_market"]
 
 
-def write_matrix_market(A: CSRMatrix, path: str | os.PathLike) -> None:
+def write_matrix_market(A: CSRMatrix, path: str | os.PathLike[str]) -> None:
     """Write ``A`` in MatrixMarket coordinate/real/general format (1-based)."""
     with open(path, "w", encoding="ascii") as fh:
         fh.write("%%MatrixMarket matrix coordinate real general\n")
         fh.write(f"{A.shape[0]} {A.shape[1]} {A.nnz}\n")
         for i, cols, vals in A.iter_rows():
-            for j, v in zip(cols, vals):
+            for j, v in zip(cols, vals, strict=True):
                 fh.write(f"{i + 1} {j + 1} {float(v)!r}\n")
 
 
-def read_matrix_market(path: str | os.PathLike) -> CSRMatrix:
+def read_matrix_market(path: str | os.PathLike[str]) -> CSRMatrix:
     """Read a MatrixMarket coordinate file into a :class:`CSRMatrix`."""
-    with open(path, "r", encoding="ascii") as fh:
+    with open(path, encoding="ascii") as fh:
         header = fh.readline()
         if not header.startswith("%%MatrixMarket"):
             raise ValueError(f"{path}: not a MatrixMarket file")

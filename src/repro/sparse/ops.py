@@ -84,8 +84,12 @@ def lower_solve(L: CSRMatrix, b: np.ndarray) -> np.ndarray:
 def split_lu(A: CSRMatrix) -> tuple[CSRMatrix, np.ndarray, CSRMatrix]:
     """Split ``A`` into (strict lower CSR, diagonal vector, strict upper CSR)."""
     n = A.shape[0]
-    lr, lc, lv = [], [], []
-    ur, uc, uv = [], [], []
+    lr: list[np.ndarray] = []
+    lc: list[np.ndarray] = []
+    lv: list[np.ndarray] = []
+    ur: list[np.ndarray] = []
+    uc: list[np.ndarray] = []
+    uv: list[np.ndarray] = []
     diag = np.zeros(n, dtype=np.float64)
     for i, cols, vals in A.iter_rows():
         below = cols < i
@@ -102,7 +106,9 @@ def split_lu(A: CSRMatrix) -> tuple[CSRMatrix, np.ndarray, CSRMatrix]:
             uc.append(cols[above])
             uv.append(vals[above])
 
-    def build(rs: list, cs: list, vs: list) -> CSRMatrix:
+    def build(
+        rs: list[np.ndarray], cs: list[np.ndarray], vs: list[np.ndarray]
+    ) -> CSRMatrix:
         if not rs:
             return CSRMatrix.zeros(n, n)
         return CSRMatrix.from_coo(

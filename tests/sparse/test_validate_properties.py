@@ -1,0 +1,161 @@
+"""Property tests for COO<->CSR round-trips and ``_validate`` diagnostics.
+
+Every corruption a kernel bug could plausibly introduce into the four
+CSR fields must be caught by ``check=True`` with a message that names
+the offending row/offset.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sparse import COOBuilder, CSRMatrix
+
+
+@st.composite
+def coo_entries(draw, max_n=10, max_nnz=30):
+    n = draw(st.integers(min_value=1, max_value=max_n))
+    nnz = draw(st.integers(min_value=0, max_value=max_nnz))
+    rows = draw(st.lists(st.integers(0, n - 1), min_size=nnz, max_size=nnz))
+    cols = draw(st.lists(st.integers(0, n - 1), min_size=nnz, max_size=nnz))
+    vals = draw(
+        st.lists(
+            st.floats(-100, 100, allow_nan=False, allow_infinity=False),
+            min_size=nnz,
+            max_size=nnz,
+        )
+    )
+    return n, rows, cols, vals
+
+
+@settings(max_examples=80, deadline=None)
+@given(coo_entries())
+def test_coo_csr_round_trip(data):
+    n, rows, cols, vals = data
+    b = COOBuilder(n)
+    for i, j, v in zip(rows, cols, vals):
+        b.add(i, j, v)
+    A = b.to_csr()
+    A._validate()  # the finalised matrix is always well-formed
+
+    # re-assemble from the CSR entries: must reproduce the same matrix
+    b2 = COOBuilder(n)
+    for i in range(n):
+        c, v = A.row(i)
+        for j, x in zip(c, v):
+            b2.add(int(i), int(j), float(x))
+    B = b2.to_csr()
+    assert np.array_equal(A.indptr, B.indptr)
+    assert np.array_equal(A.indices, B.indices)
+    assert np.allclose(A.data, B.data)
+
+
+@settings(max_examples=80, deadline=None)
+@given(coo_entries())
+def test_round_trip_matches_dense(data):
+    n, rows, cols, vals = data
+    b = COOBuilder(n)
+    b.add_batch(np.array(rows, dtype=np.int64).reshape(-1),
+                np.array(cols, dtype=np.int64).reshape(-1),
+                np.array(vals, dtype=np.float64).reshape(-1))
+    A = b.to_csr()
+    D = np.zeros((n, n))
+    np.add.at(D, (np.array(rows, dtype=int), np.array(cols, dtype=int)), vals)
+    assert np.allclose(A.to_dense(), D)
+
+
+def _healthy():
+    b = COOBuilder(4)
+    for i, j, v in [(0, 0, 4.0), (0, 2, -1.0), (1, 1, 4.0), (2, 0, -1.0),
+                    (2, 2, 4.0), (3, 3, 4.0)]:
+        b.add(i, j, v)
+    return b.to_csr()
+
+
+class TestCorruptedFieldDetection:
+    """Each corrupted field is rejected with a located diagnostic."""
+
+    def test_indptr_wrong_start(self):
+        A = _healthy()
+        p = A.indptr.copy()
+        p[0] = 1
+        with pytest.raises(ValueError, match=r"indptr\[0\] = 1, expected 0"):
+            CSRMatrix(p, A.indices, A.data, A.shape)
+
+    def test_indptr_wrong_end(self):
+        A = _healthy()
+        p = A.indptr.copy()
+        p[-1] = A.nnz + 2
+        with pytest.raises(ValueError, match="does not equal nnz"):
+            CSRMatrix(p, A.indices, A.data, A.shape)
+
+    def test_indptr_decreasing_names_row(self):
+        A = _healthy()
+        p = A.indptr.copy()
+        p[1], p[2] = p[2], p[1]  # row 1 now decreases
+        with pytest.raises(ValueError, match="decreases at row"):
+            CSRMatrix(p, A.indices, A.data, A.shape)
+
+    def test_indptr_wrong_length(self):
+        A = _healthy()
+        with pytest.raises(ValueError, match="indptr has shape"):
+            CSRMatrix(A.indptr[:-1].copy(), A.indices, A.data, A.shape)
+
+    def test_indices_out_of_range_names_row_and_offset(self):
+        A = _healthy()
+        idx = A.indices.copy()
+        idx[int(A.indptr[2])] = 11
+        with pytest.raises(IndexError, match=r"row 2, offset 0: column index 11"):
+            CSRMatrix(A.indptr, idx, A.data, A.shape)
+
+    def test_indices_negative(self):
+        A = _healthy()
+        idx = A.indices.copy()
+        idx[0] = -3
+        with pytest.raises(IndexError, match="out of range"):
+            CSRMatrix(A.indptr, idx, A.data, A.shape)
+
+    def test_indices_unsorted_names_offsets(self):
+        A = _healthy()
+        idx = A.indices.copy()
+        s = int(A.indptr[0])
+        idx[s], idx[s + 1] = idx[s + 1], idx[s]  # row 0 has two entries
+        with pytest.raises(ValueError, match="row 0 has unsorted column indices"):
+            CSRMatrix(A.indptr, idx, A.data, A.shape)
+
+    def test_indices_duplicate_distinct_from_unsorted(self):
+        A = _healthy()
+        idx = A.indices.copy()
+        idx[int(A.indptr[0]) + 1] = idx[int(A.indptr[0])]
+        with pytest.raises(ValueError, match="row 0 has duplicate column indices"):
+            CSRMatrix(A.indptr, idx, A.data, A.shape)
+
+    def test_data_length_mismatch(self):
+        A = _healthy()
+        with pytest.raises(ValueError, match="must have equal length"):
+            CSRMatrix(A.indptr, A.indices, A.data[:-1].copy(), A.shape)
+
+    def test_row_boundary_not_flagged_as_unsorted(self):
+        # column 2 ends row 0, column 0 starts row 2: the drop across the
+        # boundary is legal and must not be reported
+        A = _healthy()
+        CSRMatrix(A.indptr, A.indices, A.data, A.shape)  # no raise
+
+
+@settings(max_examples=60, deadline=None)
+@given(coo_entries(), st.data())
+def test_any_single_index_corruption_is_caught(data, rnd):
+    """Randomised: bump one column index out of range -> always caught."""
+    n, rows, cols, vals = data
+    b = COOBuilder(n)
+    for i, j, v in zip(rows, cols, vals):
+        b.add(i, j, v)
+    A = b.to_csr()
+    if A.nnz == 0:
+        return
+    pos = rnd.draw(st.integers(0, A.nnz - 1))
+    idx = A.indices.copy()
+    idx[pos] = n + rnd.draw(st.integers(0, 5))
+    with pytest.raises((ValueError, IndexError)):
+        CSRMatrix(A.indptr, idx, A.data, A.shape)

@@ -65,3 +65,33 @@ class TestCommands:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestCheckCommand:
+    def test_healthy_run_exits_zero(self, capsys):
+        assert main(["check", "g0:10", "-p", "4", "-m", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "check OK: 0 races, 0 invariant violations" in out
+        assert "race detector: ILUT(5," in out
+
+    def test_healthy_star_variant(self, capsys):
+        assert main(["check", "g0:10", "-p", "4", "-m", "5", "-k", "2"]) == 0
+        assert "ILUT*(5," in capsys.readouterr().out
+
+    def test_zero_diag_injection_fails(self, capsys):
+        assert main(["check", "g0:10", "--inject", "zero-diag"]) == 1
+        out = capsys.readouterr().out
+        assert "injected: zeroed U diagonal" in out
+        assert "INVARIANT:" in out and "singular" in out
+        assert "check FAILED" in out
+
+    def test_unsorted_row_injection_fails(self, capsys):
+        assert main(["check", "g0:10", "--inject", "unsorted-row"]) == 1
+        out = capsys.readouterr().out
+        assert "INVARIANT:" in out and "unsorted" in out
+
+    def test_race_injection_fails(self, capsys):
+        assert main(["check", "g0:10", "--inject", "race"]) == 1
+        out = capsys.readouterr().out
+        assert "RACE:" in out and "interface-row" in out
+        assert "check FAILED: 1 race(s), 0 violation(s)" in out
