@@ -23,7 +23,14 @@ from functools import lru_cache
 
 import numpy as np
 
-from repro import decompose, parallel_ilut, parallel_ilut_star, poisson2d, torso_like
+from repro import (
+    ILUTParams,
+    decompose,
+    parallel_ilut,
+    parallel_ilut_star,
+    poisson2d,
+    torso_like,
+)
 from repro.ilu import parallel_triangular_solve
 from repro.machine import CRAY_T3D
 from repro.solvers import parallel_matvec
@@ -92,9 +99,11 @@ def factorize(name: str, algo: str, m: int, t: float, p: int):
     A = matrix(name)
     d = decomposition(name, p)
     if algo == "ILUT":
-        return parallel_ilut(A, m, t, p, decomp=d, model=MODEL, seed=SEED)
+        params = ILUTParams(fill=m, threshold=t)
+        return parallel_ilut(A, params, p, decomp=d, model=MODEL, seed=SEED)
     if algo == "ILUT*":
-        return parallel_ilut_star(A, m, t, KSTAR, p, decomp=d, model=MODEL, seed=SEED)
+        params = ILUTParams(fill=m, threshold=t, k=KSTAR)
+        return parallel_ilut_star(A, params, p, decomp=d, model=MODEL, seed=SEED)
     raise KeyError(algo)
 
 

@@ -1,0 +1,230 @@
+"""Kernel-backend regression harness: reference vs vectorized hot paths.
+
+Times the three hot paths behind the ``backend`` switch — sequential
+ILUT factorization, level-scheduled triangular apply, and preconditioned
+GMRES — on the Poisson-G0 and torso workloads, verifies parity
+(bit-identical factors; applier within 1e-12), replays the vectorized
+parallel drivers under the race detector, and writes the results to
+``BENCH_kernels.json`` at the repo root.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_kernels.py            # full run
+    PYTHONPATH=src python benchmarks/bench_kernels.py --quick    # CI smoke
+    PYTHONPATH=src python benchmarks/bench_kernels.py --quick --check
+
+``--check`` exits nonzero if the vectorized triangular apply is not
+faster than the reference row loop (the CI guard against kernel-layer
+regressions).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro import ILUTParams, gmres, poisson2d, torso_like
+from repro.decomp import decompose
+from repro.ilu import ilut, parallel_ilut, parallel_ilut_star
+from repro.ilu.apply import LevelScheduledApplier
+from repro.ilu.triangular import parallel_triangular_solve
+from repro.kernels import clear_schedule_cache
+from repro.solvers import ILUPreconditioner, parallel_matvec
+from repro.verify import find_races
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _best_of(fn, repeat: int) -> float:
+    best = float("inf")
+    for _ in range(repeat):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _factors_identical(fa, fb) -> bool:
+    return all(
+        np.array_equal(x, y)
+        for x, y in [
+            (fa.L.indptr, fb.L.indptr),
+            (fa.L.indices, fb.L.indices),
+            (fa.L.data, fb.L.data),
+            (fa.U.indptr, fb.U.indptr),
+            (fa.U.indices, fb.U.indices),
+            (fa.U.data, fb.U.data),
+        ]
+    )
+
+
+def bench_factorization(cfg: dict) -> dict:
+    A = poisson2d(cfg["fact_nx"])
+    p = ILUTParams(fill=cfg["m"], threshold=cfg["t"])
+    t_ref = _best_of(lambda: ilut(A, p, backend="reference"), cfg["fact_repeat"])
+    t_vec = _best_of(lambda: ilut(A, p, backend="vectorized"), cfg["fact_repeat"])
+    f_ref = ilut(A, p, backend="reference")
+    f_vec = ilut(A, p, backend="vectorized")
+    return {
+        "workload": f"poisson2d({cfg['fact_nx']}) n={A.shape[0]} "
+        f"m={cfg['m']} t={cfg['t']:g}",
+        "reference_s": t_ref,
+        "vectorized_s": t_vec,
+        "speedup": t_ref / t_vec,
+        "bit_identical": _factors_identical(f_ref, f_vec)
+        and f_ref.stats["flops"] == f_vec.stats["flops"],
+    }
+
+
+def bench_triangular_apply(cfg: dict) -> dict:
+    A = poisson2d(cfg["fact_nx"])
+    params = ILUTParams(fill=cfg["m"], threshold=cfg["t"], k=cfg["k"])
+    r = parallel_ilut_star(A, params, cfg["apply_p"], seed=0, simulate=False)
+    f = r.factors
+    b = np.arange(1, A.shape[0] + 1, dtype=np.float64) / A.shape[0]
+    clear_schedule_cache()
+    app = LevelScheduledApplier(f)  # schedule build outside the timed region
+    reps = cfg["apply_repeat"]
+
+    def ref():
+        for _ in range(cfg["apply_inner"]):
+            f.solve(b)
+
+    def vec():
+        for _ in range(cfg["apply_inner"]):
+            app.apply(b)
+
+    t_ref = _best_of(ref, reps)
+    t_vec = _best_of(vec, reps)
+    x_ref = f.solve(b)
+    x_vec = app.apply(b)
+    rel = float(np.max(np.abs(x_ref - x_vec)) / np.max(np.abs(x_ref)))
+    return {
+        "workload": f"ILUT*({cfg['m']},{cfg['t']:g},{cfg['k']}) factors, "
+        f"p={cfg['apply_p']}, poisson2d({cfg['fact_nx']}), "
+        f"{cfg['apply_inner']} applies",
+        "forward_levels": app.forward_levels,
+        "backward_levels": app.backward_levels,
+        "reference_s": t_ref,
+        "vectorized_s": t_vec,
+        "speedup": t_ref / t_vec,
+        "max_rel_diff": rel,
+        "parity_ok": rel <= 1e-12,
+    }
+
+
+def bench_gmres(cfg: dict) -> dict:
+    out = {}
+    for name, A in [
+        ("g0", poisson2d(cfg["gmres_nx"])),
+        ("torso", torso_like(cfg["torso_n"], seed=0)),
+    ]:
+        n = A.shape[0]
+        b = A @ np.ones(n)
+        f = ilut(A, ILUTParams(fill=cfg["m"], threshold=cfg["t"]))
+        runs = {}
+        for mode, fast in [("reference", False), ("vectorized", True)]:
+            t0 = time.perf_counter()
+            res = gmres(A, b, restart=20, M=ILUPreconditioner(f, fast=fast))
+            dt = time.perf_counter() - t0
+            runs[mode] = {
+                "elapsed_s": dt,
+                "converged": bool(res.converged),
+                "num_matvec": res.num_matvec,
+            }
+        out[name] = {
+            "workload": f"{name} n={n}, GMRES(20), "
+            f"ILUT({cfg['m']},{cfg['t']:g}) preconditioner",
+            **runs,
+            "speedup": runs["reference"]["elapsed_s"] / runs["vectorized"]["elapsed_s"],
+        }
+    return out
+
+
+def bench_race_free(cfg: dict) -> dict:
+    """Replay every vectorized parallel driver under the race detector."""
+    A = poisson2d(cfg["race_nx"])
+    p = cfg["race_p"]
+    params = ILUTParams(fill=5, threshold=1e-3)
+    r = parallel_ilut(A, params, p, seed=0, trace=True, backend="vectorized")
+    races = {"parallel_ilut": len(find_races(r.trace))}
+    b = np.ones(A.shape[0])
+    ts = parallel_triangular_solve(r.factors, b, trace=True, backend="vectorized")
+    races["parallel_triangular_solve"] = len(find_races(ts.trace))
+    d = decompose(A, p, seed=0)
+    mv = parallel_matvec(A, d, b, trace=True, backend="vectorized")
+    races["parallel_matvec"] = len(find_races(mv.trace))
+    return {
+        "workload": f"poisson2d({cfg['race_nx']}), p={p}, vectorized backend",
+        "races": races,
+        "race_free": all(v == 0 for v in races.values()),
+    }
+
+
+FULL = dict(
+    fact_nx=128, m=10, t=1e-3, k=5, fact_repeat=2,
+    apply_p=64, apply_inner=10, apply_repeat=3,
+    gmres_nx=48, torso_n=1200, race_nx=16, race_p=4,
+)
+QUICK = dict(
+    fact_nx=32, m=10, t=1e-3, k=5, fact_repeat=2,
+    apply_p=8, apply_inner=5, apply_repeat=2,
+    gmres_nx=16, torso_n=300, race_nx=10, race_p=4,
+)
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--quick", action="store_true", help="tiny CI-smoke workload")
+    ap.add_argument(
+        "--check", action="store_true",
+        help="exit 1 unless vectorized triangular apply beats reference",
+    )
+    ap.add_argument(
+        "--output", default=str(REPO_ROOT / "BENCH_kernels.json"),
+        help="output JSON path (default: BENCH_kernels.json at repo root)",
+    )
+    args = ap.parse_args(argv)
+    cfg = QUICK if args.quick else FULL
+
+    results: dict = {"scale": "quick" if args.quick else "full"}
+    print(f"[bench_kernels] scale={results['scale']}")
+    results["ilut_factorization"] = bench_factorization(cfg)
+    r = results["ilut_factorization"]
+    print(f"  factorization: {r['speedup']:.2f}x  (bit_identical={r['bit_identical']})")
+    results["triangular_apply"] = bench_triangular_apply(cfg)
+    r = results["triangular_apply"]
+    print(f"  triangular apply: {r['speedup']:.2f}x  (max_rel_diff={r['max_rel_diff']:.2e})")
+    results["gmres"] = bench_gmres(cfg)
+    for name, g in results["gmres"].items():
+        print(f"  gmres/{name}: {g['speedup']:.2f}x  "
+              f"(nmv {g['reference']['num_matvec']} -> {g['vectorized']['num_matvec']})")
+    results["race_free"] = bench_race_free(cfg)
+    print(f"  race-free: {results['race_free']['race_free']}")
+
+    out = Path(args.output)
+    out.write_text(json.dumps(results, indent=2) + "\n")
+    print(f"[bench_kernels] wrote {out}")
+
+    if args.check:
+        apply = results["triangular_apply"]
+        ok = (
+            apply["speedup"] > 1.0
+            and apply["parity_ok"]
+            and results["ilut_factorization"]["bit_identical"]
+            and results["race_free"]["race_free"]
+        )
+        if not ok:
+            print("[bench_kernels] CHECK FAILED", file=sys.stderr)
+            return 1
+        print("[bench_kernels] check OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

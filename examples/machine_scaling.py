@@ -16,6 +16,7 @@ from repro import (
     CRAY_T3D,
     IDEAL,
     WORKSTATION_CLUSTER,
+    ILUTParams,
     parallel_ilut,
     parallel_ilut_star,
     poisson2d,
@@ -31,8 +32,10 @@ def main(nx: int = 48, procs: tuple = (2, 4, 8, 16)) -> None:
     for model in (CRAY_T3D, WORKSTATION_CLUSTER, IDEAL):
         print(f"--- machine: {model.name}")
         for name, runner in (
-            ("ILUT ", lambda p: parallel_ilut(A, m, t, p, seed=0, model=model)),
-            ("ILUT*", lambda p: parallel_ilut_star(A, m, t, 2, p, seed=0, model=model)),
+            ("ILUT ", lambda p: parallel_ilut(
+                A, ILUTParams(fill=m, threshold=t), p, seed=0, model=model)),
+            ("ILUT*", lambda p: parallel_ilut_star(
+                A, ILUTParams(fill=m, threshold=t, k=2), p, seed=0, model=model)),
         ):
             times = {p: runner(p).modeled_time for p in procs}
             sp = relative_speedups(times)
@@ -48,8 +51,12 @@ def main(nx: int = 48, procs: tuple = (2, 4, 8, 16)) -> None:
                     f"{name} speedup", procs, [sp[p] for p in procs]
                 ),
             )
-        ti = parallel_ilut(A, m, t, procs[-1], seed=0, model=model).modeled_time
-        ts = parallel_ilut_star(A, m, t, 2, procs[-1], seed=0, model=model).modeled_time
+        ti = parallel_ilut(
+            A, ILUTParams(fill=m, threshold=t), procs[-1], seed=0, model=model
+        ).modeled_time
+        ts = parallel_ilut_star(
+            A, ILUTParams(fill=m, threshold=t, k=2), procs[-1], seed=0, model=model
+        ).modeled_time
         print(f"  ILUT* saves {ti - ts:.4f}s at p={procs[-1]} ({ti / ts:.2f}x)\n")
 
 

@@ -13,7 +13,7 @@ on one grid:
 Run:  python examples/orderings.py
 """
 
-from repro import ilut, parallel_ilut, poisson2d
+from repro import ILUTParams, ilut, parallel_ilut, poisson2d
 from repro.analysis import format_table
 from repro.ilu.apply import LevelScheduledApplier
 from repro.partition import nested_dissection_matrix
@@ -25,9 +25,9 @@ def main(nx: int = 24) -> None:
     print(f"workload: {n}-row 5-point grid Laplacian, nnz={A.nnz}\n")
 
     # --- complete factorization fill: natural vs nested dissection
-    f_nat = ilut(A, n, 0.0)
+    f_nat = ilut(A, ILUTParams(fill=n, threshold=0.0))
     perm = nested_dissection_matrix(A, seed=0)
-    f_nd = ilut(A.permute(perm, perm), n, 0.0)
+    f_nd = ilut(A.permute(perm, perm), ILUTParams(fill=n, threshold=0.0))
     print(
         format_table(
             ["ordering", "exact-LU nnz(L+U)", "fill factor"],
@@ -41,8 +41,10 @@ def main(nx: int = 24) -> None:
     print()
 
     # --- incomplete factorization solve depth: natural vs two-phase MIS
-    f_seq = ilut(A, 5, 1e-3)
-    f_par = parallel_ilut(A, 5, 1e-3, 8, seed=0, simulate=False).factors
+    f_seq = ilut(A, ILUTParams(fill=5, threshold=1e-3))
+    f_par = parallel_ilut(
+        A, ILUTParams(fill=5, threshold=1e-3), 8, seed=0, simulate=False
+    ).factors
     app_seq = LevelScheduledApplier(f_seq)
     app_par = LevelScheduledApplier(f_par)
     print(

@@ -14,7 +14,14 @@ Run:  python examples/paper_figures.py
 
 import numpy as np
 
-from repro import adjacency_from_matrix, decompose, greedy_coloring, parallel_ilut, poisson2d
+from repro import (
+    ILUTParams,
+    adjacency_from_matrix,
+    decompose,
+    greedy_coloring,
+    parallel_ilut,
+    poisson2d,
+)
 from repro.graph import color_classes, is_independent_set
 
 
@@ -38,7 +45,9 @@ def main(nx: int = 12) -> None:
 
     # (b) ILUT: fill adds dependencies between interface nodes, breaking
     # the precomputed colouring
-    res = parallel_ilut(A, 10, 1e-6, p, decomp=d, seed=0, simulate=False)
+    res = parallel_ilut(
+        A, ILUTParams(fill=10, threshold=1e-6), p, decomp=d, seed=0, simulate=False
+    )
     U = res.factors.U
     perm = res.factors.perm
     orig_pos = {int(v): k for k, v in enumerate(perm)}

@@ -17,6 +17,7 @@ import numpy as np
 from repro import (
     DiagonalPreconditioner,
     ILUPreconditioner,
+    ILUTParams,
     convection_diffusion2d,
     gmres,
     ilu0,
@@ -46,8 +47,8 @@ def main(nx: int = 40) -> None:
         "ILU(0)": lambda: ilu0(A),
         "ILU(1)": lambda: iluk(A, 1),
         "ILU(2)": lambda: iluk(A, 2),
-        "ILUT(5,1e-2)": lambda: ilut(A, 5, 1e-2),
-        "ILUT(10,1e-4)": lambda: ilut(A, 10, 1e-4),
+        "ILUT(5,1e-2)": lambda: ilut(A, ILUTParams(fill=5, threshold=1e-2)),
+        "ILUT(10,1e-4)": lambda: ilut(A, ILUTParams(fill=10, threshold=1e-4)),
     }
 
     rows = []

@@ -13,6 +13,7 @@ import numpy as np
 from repro import (
     ILUPreconditioner,
     gmres,
+    ILUTParams,
     parallel_ilut_star,
     poisson2d,
 )
@@ -26,7 +27,8 @@ def main(nx: int = 64, nranks: int = 16) -> None:
     print(f"system: n={n}, nnz={A.nnz}")
 
     # 2. parallel ILUT* factorization on 16 simulated T3D processors
-    result = parallel_ilut_star(A, m=10, t=1e-4, k=2, nranks=nranks, seed=0)
+    params = ILUTParams(fill=10, threshold=1e-4, k=2)
+    result = parallel_ilut_star(A, params, nranks, seed=0)
     print(f"decomposition: {result.decomp.summary()}")
     print(
         f"factorization: {result.factors}, q={result.num_levels} independent "

@@ -19,6 +19,7 @@ from repro import (
     ILUPreconditioner,
     decompose,
     gmres,
+    ILUTParams,
     parallel_ilut,
     parallel_ilut_star,
     parallel_triangular_solve,
@@ -38,10 +39,12 @@ def main(n_points: int = 2000) -> None:
 
     rows = []
     for name, runner in (
-        ("ILUT(10,1e-4)", lambda: parallel_ilut(A, 10, 1e-4, p, decomp=d, seed=0)),
+        ("ILUT(10,1e-4)", lambda: parallel_ilut(
+            A, ILUTParams(fill=10, threshold=1e-4), p, decomp=d, seed=0)),
         (
             "ILUT*(10,1e-4,2)",
-            lambda: parallel_ilut_star(A, 10, 1e-4, 2, p, decomp=d, seed=0),
+            lambda: parallel_ilut_star(
+                A, ILUTParams(fill=10, threshold=1e-4, k=2), p, decomp=d, seed=0),
         ),
     ):
         r = runner()

@@ -15,9 +15,10 @@ A from-scratch Python reproduction of the paper's system:
 
 Quickstart::
 
-    from repro import poisson2d, parallel_ilut_star, gmres, ILUPreconditioner
+    from repro import ILUTParams, poisson2d, parallel_ilut_star
+    from repro import gmres, ILUPreconditioner
     A = poisson2d(64)
-    result = parallel_ilut_star(A, m=10, t=1e-4, k=2, nranks=16)
+    result = parallel_ilut_star(A, ILUTParams(fill=10, threshold=1e-4, k=2), 16)
     sol = gmres(A, b, restart=20, M=ILUPreconditioner(result.factors))
 """
 
@@ -31,6 +32,7 @@ from .graph import (
 )
 from .ilu import (
     ILUFactors,
+    ILUTParams,
     ParallelILUResult,
     ilu0,
     iluk,
@@ -86,6 +88,7 @@ __all__ = [
     "DomainDecomposition",
     "decompose",
     # ilu
+    "ILUTParams",
     "ilut",
     "ilu0",
     "iluk",

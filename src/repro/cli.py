@@ -77,14 +77,15 @@ def _cmd_partition(args: argparse.Namespace) -> int:
 
 
 def _cmd_factor(args: argparse.Namespace) -> int:
-    from .ilu import parallel_ilut, parallel_ilut_star
+    from .ilu import ILUTParams, parallel_ilut, parallel_ilut_star
 
     A = load_matrix(args.matrix)
+    params = ILUTParams(fill=args.m, threshold=args.t, k=args.k)
     if args.k is None:
-        res = parallel_ilut(A, args.m, args.t, args.procs, seed=args.seed)
+        res = parallel_ilut(A, params, args.procs, seed=args.seed)
         label = f"ILUT({args.m},{args.t:g})"
     else:
-        res = parallel_ilut_star(A, args.m, args.t, args.k, args.procs, seed=args.seed)
+        res = parallel_ilut_star(A, params, args.procs, seed=args.seed)
         label = f"ILUT*({args.m},{args.t:g},{args.k})"
     print(f"factorization: {label} on p={args.procs}")
     print(res.decomp.summary())
@@ -121,7 +122,7 @@ def _cmd_solve(args: argparse.Namespace) -> int:
 def _cmd_check(args: argparse.Namespace) -> int:
     from .graph import adjacency_from_matrix
     from .graph.distributed_mis import distributed_two_step_luby_mis
-    from .ilu import parallel_ilut, parallel_ilut_star
+    from .ilu import ILUTParams, parallel_ilut, parallel_ilut_star
     from .ilu.triangular import parallel_triangular_solve
     from .machine import CRAY_T3D, Simulator
     from .solvers import parallel_matvec
@@ -141,13 +142,12 @@ def _cmd_check(args: argparse.Namespace) -> int:
     # 1. replay the factorization (and the kernels that consume it)
     #    under the happens-before detector — before any injection, so the
     #    traced runs are numerically healthy.
+    params = ILUTParams(fill=args.m, threshold=args.t, k=args.k)
     if args.k is None:
-        res = parallel_ilut(A, args.m, args.t, args.procs, seed=args.seed, trace=True)
+        res = parallel_ilut(A, params, args.procs, seed=args.seed, trace=True)
         label = f"ILUT({args.m},{args.t:g})"
     else:
-        res = parallel_ilut_star(
-            A, args.m, args.t, args.k, args.procs, seed=args.seed, trace=True
-        )
+        res = parallel_ilut_star(A, params, args.procs, seed=args.seed, trace=True)
         label = f"ILUT*({args.m},{args.t:g},{args.k})"
     races += find_races(res.trace)
     print(f"race detector: {label} on p={args.procs}: {res.trace}")

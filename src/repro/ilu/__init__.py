@@ -16,9 +16,11 @@ from .block_jacobi import BlockJacobiILU, block_jacobi_ilut
 from .interface_partition import InterfacePartitionEngine, parallel_ilut_partitioned
 from .parallel import ParallelILUResult, parallel_ilut, parallel_ilut_star
 from .parallel_ilu0 import parallel_ilu0
+from .params import ILUTParams
 from .triangular import TriangularSolveResult, parallel_triangular_solve
 
 __all__ = [
+    "ILUTParams",
     "ilut",
     "ilu0",
     "iluk",

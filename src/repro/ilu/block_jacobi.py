@@ -20,6 +20,7 @@ from ..machine import CRAY_T3D, MachineModel, Simulator
 from ..sparse import CSRMatrix
 from .factors import ILUFactors
 from .ilut import ilut
+from .params import ILUTParams
 
 __all__ = ["BlockJacobiILU", "block_jacobi_ilut"]
 
@@ -98,7 +99,7 @@ def block_jacobi_ilut(
             )
             continue
         block = A.submatrix(rows, rows)
-        factors = ilut(block, m, t)
+        factors = ilut(block, ILUTParams(fill=m, threshold=t))
         blocks.append(factors)
         if sim is not None:
             sim.compute(r, float(factors.stats.get("flops", 0)))

@@ -134,6 +134,7 @@ class EliminationEngine:
         diag_guard: bool = True,
         max_levels: int | None = None,
         level_hook: Callable[[int, np.ndarray, dict], None] | None = None,
+        backend: str | None = None,
     ) -> None:
         if m < 0:
             raise ValueError(f"m must be non-negative, got {m}")
@@ -155,7 +156,8 @@ class EliminationEngine:
         self.level_hook = level_hook
         self._tr = sim.tracer if sim is not None else None
 
-        self.norms = self.A.row_norms(ord=2)
+        # reference norms under every backend: identical drop thresholds
+        self.norms = self.A.row_norms(ord=2, backend="reference")
         self.pos = np.full(self.n, -1, dtype=np.int64)  # elimination position
         self.order: list[int] = []  # original index per position
         # U rows in original indices, diagonal first: orig -> (cols, vals)
@@ -168,7 +170,23 @@ class EliminationEngine:
         self.flops_total = 0.0
         self.words_copied = 0.0
         self.u_rows_comm = 0
-        self._acc = SparseRowAccumulator(self.n)
+        # backend selects the accumulator and dropping implementations;
+        # both pairs are bit-exact twins, so the factors are identical
+        from ..kernels.backend import VECTORIZED, resolve_backend
+
+        self.backend = resolve_backend(backend)
+        self._vec = self.backend == VECTORIZED
+        if self._vec:
+            from ..kernels.accumulator import VectorizedRowAccumulator
+            from ..kernels.dropping import keep_largest_vec
+
+            self._acc: SparseRowAccumulator | VectorizedRowAccumulator = (
+                VectorizedRowAccumulator(self.n)
+            )
+            self._keep = keep_largest_vec
+        else:
+            self._acc = SparseRowAccumulator(self.n)
+            self._keep = keep_largest
 
     # ------------------------------------------------------------------
     # cost-charging helpers (no-ops without a simulator)
@@ -258,8 +276,8 @@ class EliminationEngine:
             dmask = rcols == i
             umask = ~lmask & ~dmask
             big = np.abs(rvals) >= tau
-            lc, lv = keep_largest(rcols[lmask & big], rvals[lmask & big], self.m)
-            uc, uv = keep_largest(rcols[umask & big], rvals[umask & big], self.m)
+            lc, lv = self._keep(rcols[lmask & big], rvals[lmask & big], self.m)
+            uc, uv = self._keep(rcols[umask & big], rvals[umask & big], self.m)
             diag = float(rvals[dmask][0]) if np.any(dmask) else 0.0
             diag = self._guard_diag(i, diag)
             self.l_rows[i] = (lc, lv)
@@ -328,14 +346,14 @@ class EliminationEngine:
             # interface columns with the row's own diagonal always kept.
             fact = interior_mask[rcols]
             big = np.abs(rvals) >= tau
-            lc, lv = keep_largest(rcols[fact & big], rvals[fact & big], self.m)
+            lc, lv = self._keep(rcols[fact & big], rvals[fact & big], self.m)
             rmask = ~fact
             on = rcols == i
             diag_val = float(rvals[on][0]) if np.any(on) else 0.0
             keep = rmask & big & ~on
             rc_k, rv_k = rcols[keep], rvals[keep]
             if self.reduced_cap is not None:
-                rc_k, rv_k = keep_largest(rc_k, rv_k, max(0, self.reduced_cap - 1))
+                rc_k, rv_k = self._keep(rc_k, rv_k, max(0, self.reduced_cap - 1))
             ins = int(np.searchsorted(rc_k, i))
             rc_k = np.insert(rc_k, ins, i)
             rv_k = np.insert(rv_k, ins, diag_val)
@@ -425,7 +443,7 @@ class EliminationEngine:
             on = cols == i
             diag = float(vals[on][0]) if np.any(on) else 0.0
             big = (np.abs(vals) >= tau) & ~on
-            uc, uv = keep_largest(cols[big], vals[big], self.m)
+            uc, uv = self._keep(cols[big], vals[big], self.m)
             diag = self._guard_diag(i, diag)
             self.u_rows[i] = (
                 np.concatenate(([i], uc)).astype(np.int64),
@@ -519,7 +537,7 @@ class EliminationEngine:
             order_ = np.argsort(lc_new, kind="stable")
             lc_m, lv_m = _merge_rows(lc_old, lv_old, lc_new[order_], lv_new[order_])
             big = np.abs(lv_m) >= tau
-            lc_m, lv_m = keep_largest(lc_m[big], lv_m[big], self.m)
+            lc_m, lv_m = self._keep(lc_m[big], lv_m[big], self.m)
             self.l_rows[i] = (lc_m, lv_m)
             # 3rd rule on the reduced part (diagonal always kept)
             on = rcols == i
@@ -527,7 +545,7 @@ class EliminationEngine:
             keep = (np.abs(rvals) >= tau) & ~on
             rc_k, rv_k = rcols[keep], rvals[keep]
             if self.reduced_cap is not None:
-                rc_k, rv_k = keep_largest(rc_k, rv_k, max(0, self.reduced_cap - 1))
+                rc_k, rv_k = self._keep(rc_k, rv_k, max(0, self.reduced_cap - 1))
             ins = int(np.searchsorted(rc_k, i))
             rc_k = np.insert(rc_k, ins, i)
             rv_k = np.insert(rv_k, ins, diag_val)

@@ -6,49 +6,111 @@ full-working-row + nonzero-pointer data structure
 baseline of the evaluation and the kernel each simulated processor runs
 on its interior rows in phase 1 of the parallel algorithm (via
 :mod:`repro.ilu.elimination`).
+
+Two implementations sit behind the ``backend`` switch: the scalar
+reference below, and :func:`repro.kernels.ilut.ilut_vectorized`, which
+performs the identical elimination with array-level bookkeeping and
+produces bit-identical factors (the parity suite asserts it).
 """
 
 from __future__ import annotations
 
 import heapq
+import warnings
 
 import numpy as np
 
 from ..sparse import COOBuilder, CSRMatrix, SparseRowAccumulator
 from .dropping import second_rule
 from .factors import ILUFactors
+from .params import ILUTParams
 
 __all__ = ["ilut", "ilut_row_norms"]
 
 
 def ilut_row_norms(A: CSRMatrix) -> np.ndarray:
-    """Per-row 2-norms of A, used for the relative drop tolerances."""
-    return A.row_norms(ord=2)
+    """Per-row 2-norms of A, used for the relative drop tolerances.
+
+    Always computed with the reference kernel so the drop thresholds —
+    and therefore the factors — are identical under every backend.
+    """
+    return A.row_norms(ord=2, backend="reference")
+
+
+def coerce_ilut_params(
+    fname: str,
+    params: ILUTParams | int | None,
+    t: float | None,
+    m: int | None,
+    k: int | None = None,
+    *,
+    want_k: bool = False,
+    stacklevel: int = 3,
+) -> ILUTParams:
+    """Resolve the ``params``-or-legacy-keywords calling conventions.
+
+    New style passes one :class:`ILUTParams`; legacy style passes bare
+    ``m, t`` (and ``k`` for ILUT*) positionally or by keyword and gets a
+    :class:`DeprecationWarning` attributed to the caller.
+    """
+    if isinstance(params, ILUTParams):
+        if t is not None or m is not None or k is not None:
+            raise TypeError(
+                f"{fname}() got both an ILUTParams and legacy m/t/k arguments"
+            )
+        if want_k and params.k is None:
+            raise ValueError(f"{fname}() requires ILUTParams with k set")
+        return params
+    if params is not None:
+        if m is not None:
+            raise TypeError(f"{fname}() got multiple values for 'm'")
+        m = int(params)
+    if m is None or t is None or (want_k and k is None):
+        missing = "m, t, k" if want_k else "m, t"
+        raise TypeError(
+            f"{fname}() requires an ILUTParams instance or legacy ({missing})"
+        )
+    new_call = (
+        f"ILUTParams(fill=m, threshold=t{', k=k' if want_k else ''})"
+    )
+    warnings.warn(
+        f"{fname}(A, m, t{', k' if want_k else ''}, ...) is deprecated; "
+        f"pass {fname}(A, {new_call}, ...) instead",
+        DeprecationWarning,
+        stacklevel=stacklevel,
+    )
+    return ILUTParams(fill=int(m), threshold=float(t), k=None if k is None else int(k))
 
 
 def ilut(
     A: CSRMatrix,
-    m: int,
-    t: float,
+    params: ILUTParams | int | None = None,
+    t: float | None = None,
     *,
+    m: int | None = None,
     diag_guard: bool = True,
+    backend: str | None = None,
 ) -> ILUFactors:
-    """Compute the ILUT(m, t) factorization of ``A`` in natural order.
+    """Compute the ILUT factorization of ``A`` in natural order.
 
     Parameters
     ----------
     A:
         Square sparse matrix.
-    m:
-        Maximum number of off-diagonal entries kept per row in L and
-        (separately) in U.
-    t:
-        Relative drop tolerance; row ``i`` uses ``tau_i = t * ||a_i||_2``.
+    params:
+        An :class:`~repro.ilu.params.ILUTParams` bundle (``fill`` = max
+        off-diagonal entries kept per row in L and separately in U;
+        ``threshold`` = relative drop tolerance, row ``i`` uses
+        ``tau_i = threshold * ||a_i||_2``).  The legacy bare ``(m, t)``
+        arguments are still accepted with a :class:`DeprecationWarning`.
     diag_guard:
         If a pivot ``u_ii`` ends up exactly zero (dropped or missing),
         substitute ``tau_i`` (or the row-norm if ``tau_i`` is zero) so
         the factorization remains applicable.  With ``diag_guard=False``
         a zero pivot raises :class:`ZeroDivisionError`.
+    backend:
+        ``"reference"`` (scalar oracle), ``"vectorized"`` (bit-identical
+        fast path), or ``None`` for the process default.
 
     Returns
     -------
@@ -57,14 +119,33 @@ def ilut(
         ``flops`` (multiply-adds + divides of the elimination) and
         ``fill_nnz``.
     """
+    p = coerce_ilut_params("ilut", params, t, m)
     n = A.shape[0]
     if A.shape[0] != A.shape[1]:
         raise ValueError(f"ILUT requires a square matrix, got {A.shape}")
-    if m < 0:
-        raise ValueError(f"m must be non-negative, got {m}")
-    if t < 0:
-        raise ValueError(f"t must be non-negative, got {t}")
 
+    from ..kernels.backend import VECTORIZED, resolve_backend
+
+    if resolve_backend(backend) == VECTORIZED:
+        from ..kernels.ilut import ilut_vectorized
+
+        L, U, _u_rows, flops = ilut_vectorized(
+            A, p.fill, p.threshold, diag_guard=diag_guard
+        )
+        return ILUFactors(
+            L=L,
+            U=U,
+            perm=np.arange(n, dtype=np.int64),
+            levels=None,
+            stats={
+                "flops": flops,
+                "fill_nnz": L.nnz + U.nnz,
+                "m": p.fill,
+                "t": p.threshold,
+            },
+        )
+
+    mm, tt = p.fill, p.threshold
     norms = ilut_row_norms(A)
     w = SparseRowAccumulator(n)
     # U rows stored as (cols, vals) with the diagonal first-by-column
@@ -76,7 +157,7 @@ def ilut(
     for i in range(n):
         cols, vals = A.row(i)
         w.load(cols, vals)
-        tau = t * norms[i]
+        tau = tt * norms[i]
 
         # min-heap of candidate pivot columns k < i (lazy duplicates)
         heap = [int(c) for c in cols if c < i]
@@ -108,7 +189,7 @@ def ilut(
 
         # 2nd dropping rule
         rcols, rvals = w.extract()
-        (lcols, lvals), diag, (ucols, uvals) = second_rule(rcols, rvals, i, tau, m)
+        (lcols, lvals), diag, (ucols, uvals) = second_rule(rcols, rvals, i, tau, mm)
         if diag == 0.0:
             if not diag_guard:
                 raise ZeroDivisionError(f"zero pivot at row {i}")
@@ -134,5 +215,5 @@ def ilut(
         U=U,
         perm=np.arange(n, dtype=np.int64),
         levels=None,
-        stats={"flops": flops, "fill_nnz": L.nnz + U.nnz, "m": m, "t": t},
+        stats={"flops": flops, "fill_nnz": L.nnz + U.nnz, "m": mm, "t": tt},
     )

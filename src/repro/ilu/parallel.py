@@ -16,6 +16,8 @@ from ..machine import CRAY_T3D, CommStats, MachineModel, Simulator
 from ..sparse import CSRMatrix
 from .elimination import EliminationEngine
 from .factors import ILUFactors
+from .ilut import coerce_ilut_params
+from .params import ILUTParams
 
 if TYPE_CHECKING:
     from ..verify.trace import AccessTracer
@@ -64,10 +66,12 @@ class ParallelILUResult:
 
 def parallel_ilut(
     A: CSRMatrix,
-    m: int,
-    t: float,
-    nranks: int,
+    params: ILUTParams | int | None = None,
+    t_or_nranks: float | int | None = None,
+    nranks: int | None = None,
     *,
+    m: int | None = None,
+    t: float | None = None,
     reduced_cap: int | None = None,
     model: MachineModel = CRAY_T3D,
     simulate: bool = True,
@@ -77,16 +81,23 @@ def parallel_ilut(
     seed: int = 0,
     diag_guard: bool = True,
     trace: bool = False,
+    backend: str | None = None,
 ) -> ParallelILUResult:
     """Factor ``A`` with parallel ILUT(m, t) on ``nranks`` simulated PEs.
+
+    Call as ``parallel_ilut(A, ILUTParams(fill=m, threshold=t), nranks)``;
+    the legacy ``parallel_ilut(A, m, t, nranks)`` form still works and
+    emits a :class:`DeprecationWarning`.
 
     Parameters
     ----------
     A:
         Square sparse matrix.
-    m, t:
-        ILUT dual dropping parameters (max kept per L/U row; relative
-        drop tolerance).
+    params:
+        The :class:`~repro.ilu.params.ILUTParams` dropping parameters
+        (``fill`` = max kept per L/U row; ``threshold`` = relative drop
+        tolerance).  A set ``params.k`` is ignored here — ``reduced_cap``
+        governs the 3rd rule; use :func:`parallel_ilut_star` for ILUT*.
     nranks:
         Number of simulated processors.
     reduced_cap:
@@ -107,7 +118,27 @@ def parallel_ilut(
     trace:
         Record shared-object accesses for race detection (requires
         ``simulate=True``); see :mod:`repro.verify`.
+    backend:
+        Kernel backend for the elimination inner loops (bit-identical
+        results); ``None`` uses the process default.
     """
+    if isinstance(params, ILUTParams):
+        if t_or_nranks is not None:
+            if nranks is not None:
+                raise TypeError("parallel_ilut() got multiple values for 'nranks'")
+            nranks = int(t_or_nranks)
+        p = coerce_ilut_params("parallel_ilut", params, t, m)
+    else:
+        if t is None:
+            t_eff = t_or_nranks
+        elif t_or_nranks is not None:
+            raise TypeError("parallel_ilut() got multiple values for 't'")
+        else:
+            t_eff = t
+        p = coerce_ilut_params("parallel_ilut", params, t_eff, m)
+    if nranks is None:
+        raise TypeError("parallel_ilut() missing required argument 'nranks'")
+    nranks = int(nranks)
     if decomp is None:
         decomp = decompose(A, nranks, method=method, seed=seed)
     elif decomp.nranks != nranks:
@@ -119,13 +150,14 @@ def parallel_ilut(
     sim = Simulator(nranks, model, trace=trace) if simulate else None
     engine = EliminationEngine(
         decomp,
-        m,
-        t,
+        p.fill,
+        p.threshold,
         reduced_cap=reduced_cap,
         sim=sim,
         mis_rounds=mis_rounds,
         seed=seed,
         diag_guard=diag_guard,
+        backend=backend,
     )
     outcome = engine.run()
     return ParallelILUResult(
@@ -143,19 +175,61 @@ def parallel_ilut(
 
 def parallel_ilut_star(
     A: CSRMatrix,
-    m: int,
-    t: float,
-    k: int,
-    nranks: int,
+    params: ILUTParams | int | None = None,
+    arg2: float | int | None = None,
+    arg3: int | None = None,
+    arg4: int | None = None,
+    *,
+    m: int | None = None,
+    t: float | None = None,
+    k: int | None = None,
+    nranks: int | None = None,
     **kwargs,
 ) -> ParallelILUResult:
     """Factor ``A`` with parallel ILUT*(m, t, k) — paper §4.2.
+
+    Call as ``parallel_ilut_star(A, ILUTParams(fill, threshold, k), nranks)``;
+    the legacy ``parallel_ilut_star(A, m, t, k, nranks)`` form still
+    works and emits a :class:`DeprecationWarning`.
 
     Identical to :func:`parallel_ilut` except the 3rd dropping rule caps
     every reduced-matrix row at ``k*m`` entries, keeping the reduced
     matrices sparse, the independent sets large and the level count low.
     The paper finds ``k = 2`` matches ILUT's preconditioning quality.
     """
-    if k < 1:
-        raise ValueError(f"k must be >= 1, got {k}")
-    return parallel_ilut(A, m, t, nranks, reduced_cap=k * m, **kwargs)
+    if isinstance(params, ILUTParams):
+        if arg2 is not None:
+            if nranks is not None:
+                raise TypeError(
+                    "parallel_ilut_star() got multiple values for 'nranks'"
+                )
+            nranks = int(arg2)
+        if arg3 is not None or arg4 is not None:
+            raise TypeError(
+                "parallel_ilut_star() takes (A, params, nranks) in the new style"
+            )
+        p = coerce_ilut_params("parallel_ilut_star", params, t, m, k, want_k=True)
+    else:
+        t_eff = arg2 if t is None else t
+        k_eff = arg3 if k is None else k
+        if (arg2 is not None and t is not None) or (arg3 is not None and k is not None):
+            raise TypeError("parallel_ilut_star() got duplicate legacy arguments")
+        if arg4 is not None:
+            if nranks is not None:
+                raise TypeError(
+                    "parallel_ilut_star() got multiple values for 'nranks'"
+                )
+            nranks = int(arg4)
+        p = coerce_ilut_params(
+            "parallel_ilut_star", params, t_eff, m, k_eff, want_k=True
+        )
+    if nranks is None:
+        raise TypeError("parallel_ilut_star() missing required argument 'nranks'")
+    assert p.reduced_cap is not None
+    return parallel_ilut(
+        A,
+        ILUTParams(fill=p.fill, threshold=p.threshold),
+        int(nranks),
+        reduced_cap=p.reduced_cap,
+        **kwargs,
+    )

@@ -1,0 +1,75 @@
+"""Backend selection for the hot-path kernels.
+
+Every hot-path kernel in the library exists in two implementations:
+
+* ``"reference"`` — the original scalar/row-loop code.  Slow, simple,
+  and treated as the *numerical oracle*: the parity suite holds the
+  optimized path to it (element-exact where achievable, ``<= 1e-12``
+  relative otherwise), in the spirit of bit-compatible ILU work.
+* ``"vectorized"`` — numpy whole-array formulations (batched level
+  sweeps, segment sums, vectorized dropping) benchmarked by
+  ``benchmarks/bench_kernels.py`` against ``BENCH_kernels.json``.
+
+Call sites accept ``backend=None`` and resolve it against the process
+default, which starts at ``"reference"`` so existing behaviour is
+unchanged; flip it globally with :func:`set_backend` or locally with the
+:func:`use_backend` context manager.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from contextlib import contextmanager
+
+__all__ = [
+    "REFERENCE",
+    "VECTORIZED",
+    "get_backend",
+    "set_backend",
+    "use_backend",
+    "resolve_backend",
+]
+
+REFERENCE = "reference"
+VECTORIZED = "vectorized"
+_VALID = (REFERENCE, VECTORIZED)
+
+_default: str = REFERENCE
+
+
+def _validate(name: str) -> str:
+    if name not in _VALID:
+        raise ValueError(
+            f"unknown kernel backend {name!r}; expected one of {_VALID}"
+        )
+    return name
+
+
+def get_backend() -> str:
+    """The process-wide default backend."""
+    return _default
+
+
+def set_backend(name: str) -> str:
+    """Set the process-wide default backend; returns the previous one."""
+    global _default
+    previous = _default
+    _default = _validate(name)
+    return previous
+
+
+@contextmanager
+def use_backend(name: str) -> Iterator[str]:
+    """Temporarily switch the default backend within a ``with`` block."""
+    previous = set_backend(name)
+    try:
+        yield _default
+    finally:
+        set_backend(previous)
+
+
+def resolve_backend(backend: str | None) -> str:
+    """Map an explicit ``backend=`` argument (or ``None``) to a backend name."""
+    if backend is None:
+        return _default
+    return _validate(backend)

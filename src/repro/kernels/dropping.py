@@ -1,0 +1,66 @@
+"""Vectorized ILUT dropping rules.
+
+Selection-identical to :mod:`repro.ilu.dropping` — same lexicographic
+``(-|v|, col)`` order, same tie-breaking toward lower column index — but
+the column-order re-gather is an argsort instead of the reference's
+Python dict round-trip, which dominates the reference second rule's
+cost.  Because the selected entries are *gathered*, not recomputed, the
+outputs are bit-identical to the reference.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["keep_largest_vec", "keep_largest_sorted", "second_rule_vec"]
+
+
+def keep_largest_vec(
+    cols: np.ndarray, vals: np.ndarray, m: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Keep the ``m`` entries of largest magnitude, returned column-sorted."""
+    if m <= 0 or cols.size == 0:
+        return cols[:0], vals[:0]
+    if cols.size <= m:
+        order = np.argsort(cols, kind="stable")
+        return cols[order], vals[order]
+    sel = np.lexsort((cols, -np.abs(vals)))[:m]
+    sel = sel[np.argsort(cols[sel], kind="stable")]
+    return cols[sel], vals[sel]
+
+
+def keep_largest_sorted(
+    cols: np.ndarray, vals: np.ndarray, m: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """:func:`keep_largest_vec` for *column-sorted* input (skips a sort).
+
+    Because the columns arrive sorted and unique, index order equals
+    column order, so sorting the selected indices suffices.
+    """
+    if m <= 0 or cols.size == 0:
+        return cols[:0], vals[:0]
+    if cols.size <= m:
+        return cols, vals
+    sel = np.lexsort((cols, -np.abs(vals)))[:m]
+    sel.sort()
+    return cols[sel], vals[sel]
+
+
+def second_rule_vec(
+    cols: np.ndarray,
+    vals: np.ndarray,
+    i: int,
+    tau: float,
+    m: int,
+) -> tuple[tuple[np.ndarray, np.ndarray], float, tuple[np.ndarray, np.ndarray]]:
+    """Vectorized 2nd dropping rule (see :func:`repro.ilu.dropping.second_rule`)."""
+    on = cols == i
+    hit = np.flatnonzero(on)
+    diag = float(vals[hit[0]]) if hit.size else 0.0
+    keep = (np.abs(vals) >= tau) & ~on
+    kc, kv = cols[keep], vals[keep]
+    lmask = kc < i
+    l_part = keep_largest_vec(kc[lmask], kv[lmask], m)
+    umask = ~lmask & (kc > i)
+    u_part = keep_largest_vec(kc[umask], kv[umask], m)
+    return l_part, diag, u_part

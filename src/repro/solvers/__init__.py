@@ -12,7 +12,9 @@ from .preconditioners import (
     IdentityPreconditioner,
     ILUPreconditioner,
     Preconditioner,
+    prepare_preconditioner,
 )
+from .result import SolveResult
 from .stationary import (
     StationaryResult,
     SweepPreconditioner,
@@ -22,8 +24,10 @@ from .stationary import (
 )
 
 __all__ = [
+    "SolveResult",
     "gmres",
     "GMRESResult",
+    "prepare_preconditioner",
     "parallel_solve",
     "ParallelSolveReport",
     "cg",

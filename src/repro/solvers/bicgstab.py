@@ -9,28 +9,16 @@ GMRES exclusively).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import time
 from typing import Callable
 
 import numpy as np
 
 from ..sparse import CSRMatrix
-from .preconditioners import IdentityPreconditioner, Preconditioner
+from .preconditioners import Preconditioner, prepare_preconditioner
+from .result import BiCGSTABResult
 
 __all__ = ["BiCGSTABResult", "bicgstab"]
-
-
-@dataclass
-class BiCGSTABResult:
-    """Outcome of a BiCGSTAB solve."""
-
-    x: np.ndarray
-    converged: bool
-    num_matvec: int
-    iterations: int
-    final_residual: float
-    residual_norms: list[float] = field(default_factory=list)
-    breakdown: bool = False
 
 
 def bicgstab(
@@ -47,11 +35,11 @@ def bicgstab(
     Stops when ``||r|| <= tol * ||r0||``; reports ``breakdown=True`` when
     a rho/omega breakdown forced an early exit.
     """
+    t_start = time.perf_counter()
     matvec = A.matvec if isinstance(A, CSRMatrix) else A
     b = np.asarray(b, dtype=np.float64)
     n = b.size
-    if M is None:
-        M = IdentityPreconditioner()
+    M = prepare_preconditioner(M, A)
     x = np.zeros(n) if x0 is None else np.asarray(x0, dtype=np.float64).copy()
 
     r = b - matvec(x) if x.any() else b.copy()
@@ -60,7 +48,15 @@ def bicgstab(
     r0_norm = float(np.linalg.norm(r))
     hist = [r0_norm]
     if r0_norm == 0.0:
-        return BiCGSTABResult(x, True, nmv, 0, 0.0, hist)
+        return BiCGSTABResult(
+            x=x,
+            converged=True,
+            iterations=0,
+            final_residual=0.0,
+            residual_norms=hist,
+            elapsed=time.perf_counter() - t_start,
+            num_matvec=nmv,
+        )
     target = tol * r0_norm
 
     rho_old = alpha = omega = 1.0
@@ -121,9 +117,10 @@ def bicgstab(
     return BiCGSTABResult(
         x=x,
         converged=converged,
-        num_matvec=nmv,
         iterations=it,
         final_residual=final,
         residual_norms=hist,
+        elapsed=time.perf_counter() - t_start,
+        num_matvec=nmv,
         breakdown=breakdown,
     )

@@ -7,27 +7,16 @@ and exercised by tests and one example.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import time
 from typing import Callable
 
 import numpy as np
 
 from ..sparse import CSRMatrix
-from .preconditioners import IdentityPreconditioner, Preconditioner
+from .preconditioners import Preconditioner, prepare_preconditioner
+from .result import CGResult
 
 __all__ = ["CGResult", "cg"]
-
-
-@dataclass
-class CGResult:
-    """Outcome of a preconditioned-CG solve."""
-
-    x: np.ndarray
-    converged: bool
-    num_matvec: int
-    iterations: int
-    final_residual: float
-    residual_norms: list[float] = field(default_factory=list)
 
 
 def cg(
@@ -43,11 +32,11 @@ def cg(
 
     Stops when ``||r|| <= tol * ||r0||``.
     """
+    t_start = time.perf_counter()
     matvec = A.matvec if isinstance(A, CSRMatrix) else A
     b = np.asarray(b, dtype=np.float64)
     n = b.size
-    if M is None:
-        M = IdentityPreconditioner()
+    M = prepare_preconditioner(M, A)
     x = np.zeros(n) if x0 is None else np.asarray(x0, dtype=np.float64).copy()
 
     r = b - matvec(x) if x.any() else b.copy()
@@ -58,7 +47,15 @@ def cg(
     r0_norm = float(np.linalg.norm(r))
     hist = [r0_norm]
     if r0_norm == 0.0:
-        return CGResult(x, True, nmv, 0, 0.0, hist)
+        return CGResult(
+            x=x,
+            converged=True,
+            iterations=0,
+            final_residual=0.0,
+            residual_norms=hist,
+            elapsed=time.perf_counter() - t_start,
+            num_matvec=nmv,
+        )
 
     converged = False
     it = 0
@@ -84,8 +81,9 @@ def cg(
     return CGResult(
         x=x,
         converged=converged,
-        num_matvec=nmv,
         iterations=it,
         final_residual=float(np.linalg.norm(b - matvec(x))),
         residual_norms=hist,
+        elapsed=time.perf_counter() - t_start,
+        num_matvec=nmv,
     )

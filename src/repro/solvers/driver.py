@@ -15,6 +15,7 @@ import numpy as np
 
 from ..decomp import decompose
 from ..ilu.parallel import parallel_ilut, parallel_ilut_star
+from ..ilu.params import ILUTParams
 from ..ilu.triangular import parallel_triangular_solve
 from ..machine import CRAY_T3D, MachineModel
 from ..sparse import CSRMatrix
@@ -68,10 +69,11 @@ def parallel_solve(
     the real NMV count).
     """
     d = decompose(A, nranks, seed=seed)
+    params = ILUTParams(fill=m, threshold=t, k=k)
     if k is None:
-        fact = parallel_ilut(A, m, t, nranks, decomp=d, model=model, seed=seed)
+        fact = parallel_ilut(A, params, nranks, decomp=d, model=model, seed=seed)
     else:
-        fact = parallel_ilut_star(A, m, t, k, nranks, decomp=d, model=model, seed=seed)
+        fact = parallel_ilut_star(A, params, nranks, decomp=d, model=model, seed=seed)
 
     x_probe = np.ones(A.shape[0])
     t_mv = parallel_matvec(A, d, x_probe, model=model).modeled_time

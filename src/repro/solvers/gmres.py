@@ -12,45 +12,16 @@ available at every inner step without forming the solution.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import time
 from typing import Callable
 
 import numpy as np
 
 from ..sparse import CSRMatrix
-from .preconditioners import IdentityPreconditioner, Preconditioner
+from .preconditioners import Preconditioner, prepare_preconditioner
+from .result import GMRESResult
 
 __all__ = ["GMRESResult", "gmres"]
-
-
-@dataclass
-class GMRESResult:
-    """Outcome of a restarted-GMRES solve.
-
-    Attributes
-    ----------
-    x:
-        The computed solution.
-    converged:
-        Whether the stopping criterion was met.
-    num_matvec:
-        The paper's NMV — number of ``A @ v`` products performed.
-    num_precond:
-        Number of preconditioner applications.
-    iterations:
-        Total inner iterations across restarts.
-    residual_norms:
-        Preconditioned residual norm per inner iteration (including the
-        initial one).
-    """
-
-    x: np.ndarray
-    converged: bool
-    num_matvec: int
-    num_precond: int
-    iterations: int
-    final_residual: float
-    residual_norms: list[float] = field(default_factory=list)
 
 
 def gmres(
@@ -79,15 +50,17 @@ def gmres(
     maxiter:
         Cap on total matrix-vector products.
     M:
-        Left preconditioner (default: identity).
+        Left preconditioner — ``None`` for identity, or any conformer of
+        the :class:`~repro.solvers.preconditioners.Preconditioner`
+        protocol (``setup(A)`` is called once at entry).
     x0:
         Initial guess (default: zero, as in the paper).
     """
+    t_start = time.perf_counter()
     matvec = A.matvec if isinstance(A, CSRMatrix) else A
     b = np.asarray(b, dtype=np.float64)
     n = b.size
-    if M is None:
-        M = IdentityPreconditioner()
+    M = prepare_preconditioner(M, A)
     x = np.zeros(n) if x0 is None else np.asarray(x0, dtype=np.float64).copy()
     if restart < 1:
         raise ValueError(f"restart must be >= 1, got {restart}")
@@ -104,7 +77,16 @@ def gmres(
     beta0 = float(np.linalg.norm(z))
     res_hist.append(beta0)
     if beta0 == 0.0:
-        return GMRESResult(x, True, nmv, nprec, 0, 0.0, res_hist)
+        return GMRESResult(
+            x=x,
+            converged=True,
+            iterations=0,
+            final_residual=0.0,
+            residual_norms=res_hist,
+            elapsed=time.perf_counter() - t_start,
+            num_matvec=nmv,
+            num_precond=nprec,
+        )
     target = tol * beta0
 
     converged = False
@@ -189,9 +171,10 @@ def gmres(
     return GMRESResult(
         x=x,
         converged=converged,
-        num_matvec=nmv,
-        num_precond=nprec,
         iterations=iters,
         final_residual=final,
         residual_norms=res_hist,
+        elapsed=time.perf_counter() - t_start,
+        num_matvec=nmv,
+        num_precond=nprec,
     )

@@ -1,8 +1,21 @@
-"""Preconditioner interfaces for the iterative solvers.
+"""Preconditioner protocol for the iterative solvers.
 
-A preconditioner is anything with an ``apply(r) -> M^{-1} r`` method.
-The paper's Table 3 compares ILUT/ILUT* against the diagonal (Jacobi)
-preconditioner; identity is provided for unpreconditioned runs.
+A preconditioner is an object with three methods:
+
+* ``setup(A) -> self`` — bind to / factor the system matrix (idempotent:
+  a second call is a no-op once configured),
+* ``apply(r) -> ndarray`` — compute ``M^{-1} r``,
+* ``flops() -> float`` — estimated floating-point cost of one
+  :meth:`apply` (0.0 when unknown), used by the modelled-time reports.
+
+Solvers accept any conformer (or any bare object with ``apply``) and
+call :func:`prepare_preconditioner` once at entry, so a preconditioner
+may be passed either pre-configured — ``ILUPreconditioner(factors)`` —
+or deferred — ``DiagonalPreconditioner()`` /
+``ILUPreconditioner(params=ILUTParams(10, 1e-4))`` — and be set up from
+the solve's own matrix.  The paper's Table 3 compares ILUT/ILUT*
+against the diagonal (Jacobi) preconditioner; identity is provided for
+unpreconditioned runs.
 """
 
 from __future__ import annotations
@@ -10,6 +23,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..ilu.factors import ILUFactors
+from ..ilu.params import ILUTParams
 from ..sparse import CSRMatrix
 
 __all__ = [
@@ -17,14 +31,23 @@ __all__ = [
     "IdentityPreconditioner",
     "DiagonalPreconditioner",
     "ILUPreconditioner",
+    "prepare_preconditioner",
 ]
 
 
 class Preconditioner:
-    """Base interface: subclasses implement :meth:`apply`."""
+    """Base protocol: subclasses implement :meth:`apply`."""
+
+    def setup(self, A: CSRMatrix) -> "Preconditioner":
+        """Bind to the system matrix; the base class needs nothing."""
+        return self
 
     def apply(self, r: np.ndarray) -> np.ndarray:
         raise NotImplementedError
+
+    def flops(self) -> float:
+        """Estimated flops of one :meth:`apply` (0.0 when unknown)."""
+        return 0.0
 
     def __call__(self, r: np.ndarray) -> np.ndarray:
         return self.apply(r)
@@ -38,20 +61,45 @@ class IdentityPreconditioner(Preconditioner):
 
 
 class DiagonalPreconditioner(Preconditioner):
-    """Jacobi: ``M = diag(A)`` (the paper's weakest baseline)."""
+    """Jacobi: ``M = diag(A)`` (the paper's weakest baseline).
 
-    def __init__(self, A: CSRMatrix) -> None:
+    Construct with the matrix — ``DiagonalPreconditioner(A)`` — or defer
+    and let the solver call :meth:`setup` with its own matrix.
+    """
+
+    def __init__(self, A: CSRMatrix | None = None) -> None:
+        self._inv_diag: np.ndarray | None = None
+        if A is not None:
+            self.setup(A)
+
+    def setup(self, A: CSRMatrix) -> "DiagonalPreconditioner":
+        if self._inv_diag is not None:
+            return self
         d = A.diagonal()
         if np.any(d == 0.0):
             raise ValueError("diagonal preconditioner requires a zero-free diagonal")
         self._inv_diag = 1.0 / d
+        return self
 
     def apply(self, r: np.ndarray) -> np.ndarray:
+        if self._inv_diag is None:
+            raise RuntimeError(
+                "DiagonalPreconditioner not set up; pass A to the constructor "
+                "or call setup(A)"
+            )
         return self._inv_diag * np.asarray(r, dtype=np.float64)
+
+    def flops(self) -> float:
+        return float(self._inv_diag.size) if self._inv_diag is not None else 0.0
 
 
 class ILUPreconditioner(Preconditioner):
     """Wrap :class:`~repro.ilu.factors.ILUFactors` as ``M = (I+L) U``.
+
+    Construct from existing factors — ``ILUPreconditioner(factors)`` —
+    or from parameters — ``ILUPreconditioner(params=ILUTParams(10,
+    1e-4))`` — in which case :meth:`setup` factors the solve's matrix
+    with sequential ILUT.
 
     With ``fast=True`` (default) the first application builds a
     level-scheduled plan (:class:`~repro.ilu.apply.LevelScheduledApplier`)
@@ -59,12 +107,36 @@ class ILUPreconditioner(Preconditioner):
     ``fast=False`` to use the reference row-by-row solves.
     """
 
-    def __init__(self, factors: ILUFactors, *, fast: bool = True) -> None:
+    def __init__(
+        self,
+        factors: ILUFactors | None = None,
+        *,
+        params: ILUTParams | None = None,
+        fast: bool = True,
+    ) -> None:
+        if factors is None and params is None:
+            raise TypeError("ILUPreconditioner requires factors or params")
+        if factors is not None and params is not None:
+            raise TypeError("ILUPreconditioner takes factors or params, not both")
         self.factors = factors
+        self.params = params
         self._fast = fast
         self._applier = None
 
+    def setup(self, A: CSRMatrix) -> "ILUPreconditioner":
+        if self.factors is not None:
+            return self
+        from ..ilu.ilut import ilut
+
+        self.factors = ilut(A, self.params)
+        return self
+
     def apply(self, r: np.ndarray) -> np.ndarray:
+        if self.factors is None:
+            raise RuntimeError(
+                "ILUPreconditioner not set up; pass factors to the constructor "
+                "or call setup(A)"
+            )
         r = np.asarray(r, dtype=np.float64)
         if not self._fast:
             return self.factors.solve(r)
@@ -73,3 +145,26 @@ class ILUPreconditioner(Preconditioner):
 
             self._applier = LevelScheduledApplier(self.factors)
         return self._applier.apply(r)
+
+    def flops(self) -> float:
+        if self.factors is None:
+            return 0.0
+        n = self.factors.n
+        # forward: one multiply-add per L entry; backward: the same per
+        # strict-upper U entry plus one divide per row
+        return float(2 * self.factors.L.nnz + 2 * (self.factors.U.nnz - n) + n)
+
+
+def prepare_preconditioner(M: object | None, A: object) -> Preconditioner:
+    """Resolve the solver's ``M`` argument to a ready preconditioner.
+
+    ``None`` becomes the identity; a conformer gets ``setup(A)`` called
+    (a no-op for already-configured instances); a bare object with only
+    ``apply`` is passed through untouched.
+    """
+    if M is None:
+        return IdentityPreconditioner()
+    setup = getattr(M, "setup", None)
+    if callable(setup):
+        return setup(A)
+    return M  # duck-typed: anything with apply()

@@ -1,0 +1,84 @@
+"""Shared result type for the iterative solvers.
+
+Every solver (GMRES, CG, BiCGSTAB, the stationary iterations) returns a
+subclass of :class:`SolveResult`, so driver code, benchmarks and tables
+can consume ``converged`` / ``iterations`` / ``residual_history`` /
+``elapsed`` without caring which Krylov method produced them; each
+subclass only adds its method-specific counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "SolveResult",
+    "GMRESResult",
+    "CGResult",
+    "BiCGSTABResult",
+    "StationaryResult",
+]
+
+
+@dataclass
+class SolveResult:
+    """Outcome of an iterative linear solve.
+
+    Attributes
+    ----------
+    x:
+        The computed solution.
+    converged:
+        Whether the stopping criterion was met.
+    iterations:
+        Iteration count (inner iterations across restarts for GMRES).
+    final_residual:
+        ``||b - A x||`` recomputed explicitly at exit.
+    residual_norms:
+        Residual norm per iteration, including the initial one (the
+        *preconditioned* norm where the method iterates on it).
+    elapsed:
+        Wall-clock seconds spent inside the solver.
+    """
+
+    x: np.ndarray
+    converged: bool
+    iterations: int
+    final_residual: float
+    residual_norms: list[float] = field(default_factory=list)
+    elapsed: float = 0.0
+
+    @property
+    def residual_history(self) -> list[float]:
+        """Alias for :attr:`residual_norms`."""
+        return self.residual_norms
+
+
+@dataclass
+class GMRESResult(SolveResult):
+    """Restarted-GMRES outcome; adds the paper's NMV counter."""
+
+    num_matvec: int = 0
+    num_precond: int = 0
+
+
+@dataclass
+class CGResult(SolveResult):
+    """Preconditioned-CG outcome."""
+
+    num_matvec: int = 0
+
+
+@dataclass
+class BiCGSTABResult(SolveResult):
+    """BiCGSTAB outcome; ``breakdown`` marks a rho/omega early exit."""
+
+    num_matvec: int = 0
+    breakdown: bool = False
+
+
+@dataclass
+class StationaryResult(SolveResult):
+    """Jacobi / Gauss-Seidel / SOR outcome."""

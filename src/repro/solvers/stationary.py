@@ -8,12 +8,13 @@ number of sweeps approximating ``A^{-1}``).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import time
 
 import numpy as np
 
 from ..sparse import CSRMatrix
 from .preconditioners import Preconditioner
+from .result import StationaryResult
 
 __all__ = [
     "StationaryResult",
@@ -22,17 +23,6 @@ __all__ = [
     "sor",
     "SweepPreconditioner",
 ]
-
-
-@dataclass
-class StationaryResult:
-    """Outcome of a stationary iterative solve."""
-
-    x: np.ndarray
-    converged: bool
-    iterations: int
-    final_residual: float
-    residual_norms: list[float] = field(default_factory=list)
 
 
 def _prepare(A: CSRMatrix, b: np.ndarray, x0: np.ndarray | None):
@@ -56,6 +46,7 @@ def jacobi(
     damping: float = 1.0,
 ) -> StationaryResult:
     """(Damped) Jacobi iteration ``x += w D^{-1} (b - A x)``."""
+    t_start = time.perf_counter()
     b, x = _prepare(A, b, x0)
     d = A.diagonal()
     if np.any(d == 0.0):
@@ -65,6 +56,7 @@ def jacobi(
     r0 = float(np.linalg.norm(r)) or 1.0
     hist = [float(np.linalg.norm(r))]
     it = 0
+    converged = False
     while it < maxiter:
         x += inv_d * r
         r = b - A @ x
@@ -72,8 +64,16 @@ def jacobi(
         rn = float(np.linalg.norm(r))
         hist.append(rn)
         if rn <= tol * r0:
-            return StationaryResult(x, True, it, rn, hist)
-    return StationaryResult(x, False, it, hist[-1], hist)
+            converged = True
+            break
+    return StationaryResult(
+        x=x,
+        converged=converged,
+        iterations=it,
+        final_residual=hist[-1],
+        residual_norms=hist,
+        elapsed=time.perf_counter() - t_start,
+    )
 
 
 def sor(
@@ -88,6 +88,7 @@ def sor(
     """Successive over-relaxation (``omega=1`` → Gauss-Seidel)."""
     if not 0.0 < omega < 2.0:
         raise ValueError(f"SOR requires 0 < omega < 2, got {omega}")
+    t_start = time.perf_counter()
     b, x = _prepare(A, b, x0)
     d = A.diagonal()
     if np.any(d == 0.0):
@@ -97,6 +98,7 @@ def sor(
     r0 = float(np.linalg.norm(r)) or 1.0
     hist = [float(np.linalg.norm(r))]
     it = 0
+    converged = False
     while it < maxiter:
         for i in range(n):
             cols, vals = A.row(i)
@@ -107,8 +109,16 @@ def sor(
         rn = float(np.linalg.norm(r))
         hist.append(rn)
         if rn <= tol * r0:
-            return StationaryResult(x, True, it, rn, hist)
-    return StationaryResult(x, False, it, hist[-1], hist)
+            converged = True
+            break
+    return StationaryResult(
+        x=x,
+        converged=converged,
+        iterations=it,
+        final_residual=hist[-1],
+        residual_norms=hist,
+        elapsed=time.perf_counter() - t_start,
+    )
 
 
 def gauss_seidel(A: CSRMatrix, b: np.ndarray, **kwargs) -> StationaryResult:
@@ -156,3 +166,7 @@ class SweepPreconditioner(Preconditioner):
         else:
             res = sor(self.A, r, omega=self.omega, maxiter=self.sweeps, tol=0.0)
         return res.x
+
+    def flops(self) -> float:
+        # per sweep: one matvec-like pass (2 nnz) plus a diagonal scale
+        return float(self.sweeps * (2 * self.A.nnz + self.A.shape[0]))

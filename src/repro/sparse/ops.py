@@ -81,8 +81,31 @@ def lower_solve(L: CSRMatrix, b: np.ndarray) -> np.ndarray:
     return x
 
 
-def split_lu(A: CSRMatrix) -> tuple[CSRMatrix, np.ndarray, CSRMatrix]:
-    """Split ``A`` into (strict lower CSR, diagonal vector, strict upper CSR)."""
+def split_lu(
+    A: CSRMatrix,
+    *,
+    require_diagonal: bool = True,
+    backend: str | None = None,
+) -> tuple[CSRMatrix, np.ndarray, CSRMatrix]:
+    """Split ``A`` into (strict lower CSR, diagonal vector, strict upper CSR).
+
+    The splittings feed relaxation sweeps and preconditioners that divide
+    by the diagonal, so by default a zero or structurally missing
+    diagonal entry raises
+    :class:`~repro.verify.invariants.InvariantViolation` naming the
+    offending row (pass ``require_diagonal=False`` to get the raw split
+    with zeros instead).  ``backend="vectorized"`` selects the
+    element-exact whole-array kernel.
+    """
+    from ..kernels.backend import VECTORIZED, resolve_backend
+
+    if resolve_backend(backend) == VECTORIZED:
+        from ..kernels.csr import split_lu_vectorized
+
+        L, diag, U = split_lu_vectorized(A)
+        if require_diagonal:
+            _require_nonzero_diagonal(diag)
+        return L, diag, U
     n = A.shape[0]
     lr: list[np.ndarray] = []
     lc: list[np.ndarray] = []
@@ -115,7 +138,20 @@ def split_lu(A: CSRMatrix) -> tuple[CSRMatrix, np.ndarray, CSRMatrix]:
             np.concatenate(rs), np.concatenate(cs), np.concatenate(vs), (n, n)
         )
 
+    if require_diagonal:
+        _require_nonzero_diagonal(diag)
     return build(lr, lc, lv), diag, build(ur, uc, uv)
+
+
+def _require_nonzero_diagonal(diag: np.ndarray) -> None:
+    bad = np.flatnonzero(diag == 0.0)
+    if bad.size:
+        from ..verify.invariants import InvariantViolation
+
+        raise InvariantViolation(
+            f"split_lu: zero or missing diagonal at row {int(bad[0])}"
+            + (f" (and {bad.size - 1} more rows)" if bad.size > 1 else "")
+        )
 
 
 def count_triangular_flops(L: CSRMatrix, U: CSRMatrix) -> int:

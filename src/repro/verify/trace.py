@@ -173,6 +173,16 @@ class AccessTracer:
         for i in indices:
             self._record(rank, READ, space, int(i))
 
+    def write_many(self, rank: int, space: str, indices: Iterable[int]) -> None:
+        """Declare writes of every object ``(space, i)`` for ``i`` in ``indices``.
+
+        The batched (``backend="vectorized"``) drivers update a whole
+        level of a distributed vector with one scatter; this declares
+        the same per-object accesses the scalar drivers would.
+        """
+        for i in indices:
+            self._record(rank, WRITE, space, int(i))
+
     def _record(self, rank: int, kind: str, space: str, index: int) -> None:
         if not 0 <= rank < self.nranks:
             raise IndexError(f"rank {rank} out of range [0, {self.nranks})")

@@ -1,0 +1,1 @@
+"""Parity suite: vectorized kernels against their scalar reference twins."""

@@ -1,0 +1,67 @@
+"""Semantics of the process-wide kernel backend switch."""
+
+import pytest
+
+from repro.kernels import (
+    REFERENCE,
+    VECTORIZED,
+    get_backend,
+    resolve_backend,
+    set_backend,
+    use_backend,
+)
+
+
+@pytest.fixture(autouse=True)
+def _restore_default():
+    previous = get_backend()
+    yield
+    set_backend(previous)
+
+
+class TestBackendSwitch:
+    def test_default_is_reference(self):
+        assert get_backend() == REFERENCE
+
+    def test_set_returns_previous_and_takes_effect(self):
+        assert set_backend(VECTORIZED) == REFERENCE
+        assert get_backend() == VECTORIZED
+        assert set_backend(REFERENCE) == VECTORIZED
+
+    def test_set_rejects_unknown_and_keeps_default(self):
+        with pytest.raises(ValueError, match="unknown kernel backend"):
+            set_backend("simd")
+        assert get_backend() == REFERENCE
+
+    def test_use_backend_restores_on_exit(self):
+        with use_backend(VECTORIZED) as active:
+            assert active == VECTORIZED
+            assert get_backend() == VECTORIZED
+        assert get_backend() == REFERENCE
+
+    def test_use_backend_restores_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with use_backend(VECTORIZED):
+                raise RuntimeError("boom")
+        assert get_backend() == REFERENCE
+
+    def test_use_backend_nests(self):
+        with use_backend(VECTORIZED):
+            with use_backend(REFERENCE):
+                assert get_backend() == REFERENCE
+            assert get_backend() == VECTORIZED
+
+
+class TestResolve:
+    def test_none_resolves_to_default(self):
+        assert resolve_backend(None) == REFERENCE
+        with use_backend(VECTORIZED):
+            assert resolve_backend(None) == VECTORIZED
+
+    def test_explicit_argument_wins_over_default(self):
+        with use_backend(VECTORIZED):
+            assert resolve_backend(REFERENCE) == REFERENCE
+
+    def test_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown kernel backend"):
+            resolve_backend("gpu")

@@ -1,0 +1,138 @@
+"""Parity of the vectorized CSR kernels with the scalar reference code."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sparse import CSRMatrix
+from repro.kernels import (
+    csr_diagonal,
+    csr_matvec,
+    csr_row_norms,
+    segment_sums,
+    split_lu_vectorized,
+)
+
+
+@st.composite
+def coo_matrices(draw, max_n=12, max_nnz=40):
+    n = draw(st.integers(min_value=1, max_value=max_n))
+    nnz = draw(st.integers(min_value=0, max_value=max_nnz))
+    rows = draw(st.lists(st.integers(0, n - 1), min_size=nnz, max_size=nnz))
+    cols = draw(st.lists(st.integers(0, n - 1), min_size=nnz, max_size=nnz))
+    vals = draw(
+        st.lists(
+            st.floats(-10, 10, allow_nan=False, allow_infinity=False),
+            min_size=nnz,
+            max_size=nnz,
+        )
+    )
+    return (
+        n,
+        np.array(rows, dtype=np.int64),
+        np.array(cols, dtype=np.int64),
+        np.array(vals),
+    )
+
+
+class TestSegmentSums:
+    def test_matches_per_segment_python(self):
+        values = np.array([1.0, 2.0, 3.0, 4.0, 5.0])
+        indptr = np.array([0, 2, 2, 5])
+        out = segment_sums(values, indptr)
+        assert np.allclose(out, [3.0, 0.0, 12.0])
+
+    def test_all_empty_segments(self):
+        out = segment_sums(np.array([]), np.array([0, 0, 0]))
+        assert np.array_equal(out, np.zeros(2))
+
+
+class TestCsrMatvec:
+    def test_matches_reference(self, medium_poisson):
+        x = np.arange(medium_poisson.shape[0], dtype=np.float64)
+        y_ref = medium_poisson.matvec(x, backend="reference")
+        y_vec = csr_matvec(medium_poisson, x)
+        assert np.allclose(y_vec, y_ref, rtol=1e-12, atol=0)
+
+    def test_out_parameter(self, small_poisson):
+        x = np.ones(small_poisson.shape[0])
+        out = np.empty(small_poisson.shape[0])
+        got = csr_matvec(small_poisson, x, out=out)
+        assert got is out
+        assert np.allclose(out, small_poisson @ x, rtol=1e-12)
+
+    def test_rejects_bad_shape(self, small_poisson):
+        with pytest.raises(ValueError):
+            csr_matvec(small_poisson, np.ones(small_poisson.shape[0] + 1))
+
+    def test_matvec_backend_dispatch(self, small_nonsym):
+        x = np.linspace(-1, 1, small_nonsym.shape[0])
+        y_ref = small_nonsym.matvec(x, backend="reference")
+        y_vec = small_nonsym.matvec(x, backend="vectorized")
+        assert np.allclose(y_vec, y_ref, rtol=1e-12, atol=1e-300)
+
+    @settings(max_examples=40, deadline=None)
+    @given(coo_matrices())
+    def test_hypothesis_parity(self, data):
+        n, rows, cols, vals = data
+        A = CSRMatrix.from_coo(rows, cols, vals, (n, n))
+        x = np.linspace(-2, 2, n)
+        y_ref = A.to_dense() @ x
+        assert np.allclose(csr_matvec(A, x), y_ref, rtol=1e-10, atol=1e-10)
+
+
+class TestCsrRowNorms:
+    @pytest.mark.parametrize("ord", [2, 1, np.inf])
+    def test_matches_reference(self, small_geometric, ord):
+        ref = small_geometric.row_norms(ord=ord, backend="reference")
+        vec = csr_row_norms(small_geometric, ord=ord)
+        assert np.allclose(vec, ref, rtol=1e-12, atol=0)
+
+    def test_inf_norm_is_exact(self, small_diagdom):
+        ref = small_diagdom.row_norms(ord=np.inf, backend="reference")
+        assert np.array_equal(csr_row_norms(small_diagdom, ord=np.inf), ref)
+
+    def test_rejects_unknown_ord(self, small_poisson):
+        with pytest.raises(ValueError):
+            csr_row_norms(small_poisson, ord=3)
+
+    @settings(max_examples=40, deadline=None)
+    @given(coo_matrices())
+    def test_hypothesis_parity(self, data):
+        n, rows, cols, vals = data
+        A = CSRMatrix.from_coo(rows, cols, vals, (n, n))
+        ref = A.row_norms(ord=2, backend="reference")
+        vec = csr_row_norms(A, ord=2)
+        # the prefix-sum reduction carries error relative to the *global*
+        # sum of squares, not per row (tiny rows after large ones)
+        total = float((A.data * A.data).sum())
+        assert np.allclose(vec**2, ref**2, rtol=1e-12, atol=1e-12 * total)
+
+
+class TestCsrDiagonal:
+    def test_matches_dense_diag(self, small_nonsym):
+        assert np.array_equal(
+            csr_diagonal(small_nonsym), np.diag(small_nonsym.to_dense())
+        )
+
+    def test_missing_entries_are_zero(self):
+        A = CSRMatrix.from_coo([0, 2], [0, 2], [5.0, 7.0], (3, 3))
+        assert np.array_equal(csr_diagonal(A), [5.0, 0.0, 7.0])
+
+
+class TestSplitLuVectorized:
+    @settings(max_examples=40, deadline=None)
+    @given(coo_matrices())
+    def test_hypothesis_bit_parity(self, data):
+        from repro.sparse.ops import split_lu
+
+        n, rows, cols, vals = data
+        A = CSRMatrix.from_coo(rows, cols, vals, (n, n))
+        L0, d0, U0 = split_lu(A, require_diagonal=False, backend="reference")
+        L1, d1, U1 = split_lu_vectorized(A)
+        assert np.array_equal(d0, d1)
+        for M0, M1 in [(L0, L1), (U0, U1)]:
+            assert np.array_equal(M0.indptr, M1.indptr)
+            assert np.array_equal(M0.indices, M1.indices)
+            assert np.array_equal(M0.data, M1.data)

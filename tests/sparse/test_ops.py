@@ -110,6 +110,43 @@ class TestSplitLU:
         for i, cols, _ in U.iter_rows():
             assert np.all(cols > i)
 
+    @pytest.mark.parametrize("backend", ["reference", "vectorized"])
+    def test_missing_diagonal_raises_naming_row(self, backend):
+        from repro.verify.invariants import InvariantViolation
+
+        # row 1 has no diagonal entry at all
+        A = CSRMatrix.from_coo([0, 1, 2], [0, 0, 2], [1.0, 2.0, 3.0], (3, 3))
+        with pytest.raises(InvariantViolation, match="row 1"):
+            split_lu(A, backend=backend)
+
+    @pytest.mark.parametrize("backend", ["reference", "vectorized"])
+    def test_zero_diagonal_raises_naming_row(self, backend):
+        from repro.verify.invariants import InvariantViolation
+
+        A = CSRMatrix.from_coo(
+            [0, 1, 2, 2], [0, 1, 1, 2], [1.0, 0.0, 5.0, 3.0], (3, 3)
+        )
+        with pytest.raises(InvariantViolation, match="row 1"):
+            split_lu(A, backend=backend)
+
+    @pytest.mark.parametrize("backend", ["reference", "vectorized"])
+    def test_require_diagonal_false_allows_holes(self, backend):
+        A = CSRMatrix.from_coo([0, 1, 2], [0, 0, 2], [1.0, 2.0, 3.0], (3, 3))
+        L, d, U = split_lu(A, require_diagonal=False, backend=backend)
+        assert d[1] == 0.0
+        assert L.nnz == 1 and U.nnz == 0
+
+    def test_backends_agree(self, small_poisson):
+        import numpy as np
+
+        L0, d0, U0 = split_lu(small_poisson, backend="reference")
+        L1, d1, U1 = split_lu(small_poisson, backend="vectorized")
+        assert np.array_equal(d0, d1)
+        for M0, M1 in [(L0, L1), (U0, U1)]:
+            assert np.array_equal(M0.indptr, M1.indptr)
+            assert np.array_equal(M0.indices, M1.indices)
+            assert np.array_equal(M0.data, M1.data)
+
 
 class TestFlopCount:
     def test_count(self):
