@@ -23,6 +23,7 @@ Quickstart::
 """
 
 from .decomp import DomainDecomposition, decompose
+from .faults import FaultJournal, FaultPlan, MessageFault, RankFault
 from .graph import (
     Graph,
     adjacency_from_matrix,
@@ -52,9 +53,17 @@ from .matrices import (
     torso_like,
 )
 from .partition import partition_graph_kway, partition_matrix_kway
+from .resilience import (
+    NumericalBreakdown,
+    PivotPolicy,
+    RetryPolicy,
+    RobustPreconditioner,
+    ZeroPivotError,
+)
 from .solvers import (
     DiagonalPreconditioner,
     IdentityPreconditioner,
+    ILU0Preconditioner,
     ILUPreconditioner,
     cg,
     gmres,
@@ -103,8 +112,20 @@ __all__ = [
     "cg",
     "parallel_matvec",
     "ILUPreconditioner",
+    "ILU0Preconditioner",
     "DiagonalPreconditioner",
     "IdentityPreconditioner",
+    # faults
+    "FaultPlan",
+    "FaultJournal",
+    "MessageFault",
+    "RankFault",
+    # resilience
+    "NumericalBreakdown",
+    "ZeroPivotError",
+    "PivotPolicy",
+    "RobustPreconditioner",
+    "RetryPolicy",
     # matrices
     "poisson2d",
     "poisson3d",

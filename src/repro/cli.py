@@ -9,7 +9,13 @@ Commands
 ``generate``  write a generator matrix to a MatrixMarket file
 ``check``     replay a factorization under the race detector and run the
               structural invariant checkers (``--inject`` seeds a defect
-              to prove the checkers catch it)
+              to prove the checkers catch it).  The structural modes
+              (``zero-diag``, ``unsorted-row``, ``race``) exit 1 by
+              design — the checkers must *report* the defect; the fault
+              modes (``message-drop``, ``rank-crash``, ``nan-corrupt``)
+              exit 0 when the resilience layer *recovers* from the
+              injection (checkpoint restart / retransmission / fallback
+              chain) and 1 when it fails to.
 
 Matrices are specified either as a generator spec (``g0:64`` for a
 64x64 grid, ``torso:2000`` for a 2000-node thorax, ``cd:40`` for
@@ -119,6 +125,103 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     return 0 if rep.converged else 1
 
 
+_FAULT_MODES = ("message-drop", "rank-crash", "nan-corrupt")
+
+
+def _factors_identical(fa, fb) -> bool:
+    """Bit-identical L/U (values, structure) and permutation."""
+    return all(
+        np.array_equal(x, y)
+        for x, y in (
+            (fa.L.data, fb.L.data),
+            (fa.L.indices, fb.L.indices),
+            (fa.L.indptr, fb.L.indptr),
+            (fa.U.data, fb.U.data),
+            (fa.U.indices, fb.U.indices),
+            (fa.U.indptr, fb.U.indptr),
+            (fa.perm, fb.perm),
+        )
+    )
+
+
+def _cmd_check_fault(args: argparse.Namespace) -> int:
+    """Injection modes that must be *survived*, not merely reported.
+
+    Returns 0 when the resilience layer recovered (bit-identical factors
+    after a rank crash or message drop; fallback-chain detection and
+    convergence after a NaN corruption) and 1 otherwise.
+    """
+    from .faults import FaultPlan, MessageFault, RankFault
+    from .ilu import ILUTParams, parallel_ilut, parallel_ilut_star
+    from .resilience import RobustPreconditioner
+    from .solvers import (
+        DiagonalPreconditioner,
+        ILU0Preconditioner,
+        ILUPreconditioner,
+        gmres,
+    )
+
+    A = load_matrix(args.matrix)
+    params = ILUTParams(fill=args.m, threshold=args.t, k=args.k)
+    factor = parallel_ilut if args.k is None else parallel_ilut_star
+    baseline = factor(A, params, args.procs, seed=args.seed)
+
+    if args.inject in ("message-drop", "rank-crash"):
+        if args.inject == "message-drop":
+            plan = FaultPlan(message_faults=[MessageFault("drop", tag="urow")])
+            print("injected: dropped one interface-row exchange message")
+        else:
+            rank = max(1, args.procs // 2)
+            plan = FaultPlan(rank_faults=[RankFault("crash", rank=rank, superstep=3)])
+            print(f"injected: crashed rank {rank} at superstep 3")
+        res = factor(A, params, args.procs, seed=args.seed, faults=plan)
+        journal = res.fault_journal
+        print(journal.summary())
+        print(f"recoveries:    {res.recoveries} checkpoint restart(s)")
+        injected = bool(journal is not None and len(journal.events))
+        identical = _factors_identical(res.factors, baseline.factors)
+        print(f"factors vs uninjected run: {'bit-identical' if identical else 'DIVERGED'}")
+        if injected and identical:
+            print("fault check OK: injection recovered")
+            return 0
+        print("fault check FAILED: "
+              + ("no fault fired" if not injected else "factors diverged"))
+        return 1
+
+    # nan-corrupt: the engine exchanges accounting-only payloads, so a
+    # corrupted *message* cannot reach the numerics — instead poison the
+    # finished factors and require the fallback chain's probe to catch
+    # it at the apply boundary and degrade to a healthy candidate.
+    factors = baseline.factors
+    pos = int(factors.U.indptr[factors.n // 2])
+    factors.U.data[pos] = float("nan")
+    print(f"injected: NaN into U at row {factors.n // 2}")
+    M = RobustPreconditioner(
+        [
+            ILUPreconditioner(factors),
+            ILU0Preconditioner(),
+            DiagonalPreconditioner(),
+        ]
+    )
+    b = A @ np.ones(A.shape[0])
+    res_solve = gmres(A, b, restart=20, M=M)
+    report = res_solve.failure_report
+    detected = report is not None and any(
+        rec.error_type == "NonFiniteError" for rec in report.records
+    )
+    finite = bool(np.all(np.isfinite(res_solve.x)))
+    print(f"fallback:      active = {M.active_name}")
+    print(f"report:        {report.summary() if report is not None else 'none'}")
+    print(f"solve:         {'converged' if res_solve.converged else 'NOT converged'}, "
+          f"x finite = {finite}")
+    if detected and res_solve.converged and finite:
+        print("fault check OK: corruption detected and solved around")
+        return 0
+    print("fault check FAILED: "
+          + ("corruption not detected" if not detected else "solve did not recover"))
+    return 1
+
+
 def _cmd_check(args: argparse.Namespace) -> int:
     from .graph import adjacency_from_matrix
     from .graph.distributed_mis import distributed_two_step_luby_mis
@@ -134,6 +237,9 @@ def _cmd_check(args: argparse.Namespace) -> int:
         find_races,
         racy_toy_driver,
     )
+
+    if args.inject in _FAULT_MODES:
+        return _cmd_check_fault(args)
 
     A = load_matrix(args.matrix)
     problems: list[str] = []
@@ -269,8 +375,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_check.add_argument("-k", type=int, default=None)
     p_check.add_argument("--seed", type=int, default=0)
     p_check.add_argument(
-        "--inject", choices=("zero-diag", "unsorted-row", "race"), default=None,
-        help="seed a defect to verify the checkers report it (exit 1)",
+        "--inject",
+        choices=("zero-diag", "unsorted-row", "race") + _FAULT_MODES,
+        default=None,
+        help="seed a defect: structural modes verify the checkers report "
+        "it (exit 1); fault modes verify the resilience layer recovers "
+        "from it (exit 0)",
     )
     p_check.set_defaults(func=_cmd_check)
 

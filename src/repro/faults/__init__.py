@@ -1,0 +1,33 @@
+"""Deterministic fault injection for the SPMD machine model.
+
+Describe failures with a seeded, immutable :class:`FaultPlan` (message
+drop/delay/duplicate/corrupt, rank crash/stall), hand it to a
+:class:`~repro.machine.Simulator`, and every injected event lands in a
+structured :class:`FaultJournal` whose :meth:`~FaultJournal.signature`
+is bit-reproducible across runs and kernel backends.
+"""
+
+from .journal import FaultEvent, FaultJournal
+from .plan import (
+    FaultError,
+    FaultPlan,
+    FaultRuntime,
+    MessageFault,
+    MessageLost,
+    RankFailure,
+    RankFault,
+    SendEffect,
+)
+
+__all__ = [
+    "FaultEvent",
+    "FaultJournal",
+    "FaultError",
+    "FaultPlan",
+    "FaultRuntime",
+    "MessageFault",
+    "MessageLost",
+    "RankFailure",
+    "RankFault",
+    "SendEffect",
+]

@@ -39,13 +39,19 @@ from typing import Callable
 import numpy as np
 
 from ..decomp import DomainDecomposition
+from ..faults import MessageLost, RankFailure
 from ..graph import Graph, two_step_luby_mis
 from ..machine import Simulator
+from ..resilience import PivotPolicy
 from ..sparse import COOBuilder, SparseRowAccumulator
 from .dropping import keep_largest
 from .factors import ILUFactors, LevelStructure
 
 __all__ = ["EliminationEngine", "EliminationOutcome"]
+
+# bounded retransmit attempts per receive before the loss is escalated to
+# the checkpoint-recovery layer (or the caller, without checkpoints)
+MAX_RETRANSMITS = 3
 
 # modelled cost (in "operations") of copying one word while rebuilding a
 # reduced row — the data-movement overhead the paper attributes to ILUT's
@@ -86,6 +92,29 @@ class EliminationOutcome:
     flops: float = 0.0
     words_copied: float = 0.0
     u_rows_communicated: int = 0
+    recoveries: int = 0
+
+
+@dataclass
+class _EngineCheckpoint:
+    """Per-level snapshot of the elimination state (plus the simulator's).
+
+    Row payloads are ``(cols, vals)`` tuples the engine always *replaces*
+    and never mutates in place, so shallow dict copies are sufficient.
+    """
+
+    u_rows: dict[int, tuple[np.ndarray, np.ndarray]]
+    l_rows: dict[int, tuple[np.ndarray, np.ndarray]]
+    reduced: dict[int, tuple[np.ndarray, np.ndarray]]
+    pos: np.ndarray
+    order: list[int]
+    level_sizes: list[int]
+    flops_total: float
+    words_copied: float
+    u_rows_comm: int
+    interface_levels: list[np.ndarray]
+    level: int
+    sim_snap: object | None
 
 
 class EliminationEngine:
@@ -108,6 +137,17 @@ class EliminationEngine:
         Seed for the per-level MIS randomness.
     diag_guard:
         Replace exactly-zero pivots with the row's relative tolerance.
+    pivot_policy:
+        Full small/zero-pivot remediation
+        (:class:`~repro.resilience.PivotPolicy`); overrides
+        ``diag_guard`` when given.
+    checkpoint:
+        Snapshot the elimination + simulator state after phase 1 and
+        after every completed phase-2 level, and recover from injected
+        rank crashes / exhausted retransmits by rolling back to the last
+        completed level (``max_recoveries`` bounds the attempts).  The
+        recomputation is deterministic, so a recovered run produces
+        factors bit-identical to an undisturbed one.
     level_hook:
         Optional callback ``level_hook(level, iset, reduced)`` invoked
         after phase 1 (``level=-1``, empty ``iset``) and after every
@@ -132,6 +172,9 @@ class EliminationEngine:
         mis_rounds: int = 5,
         seed: int = 0,
         diag_guard: bool = True,
+        pivot_policy: PivotPolicy | None = None,
+        checkpoint: bool = False,
+        max_recoveries: int = 8,
         max_levels: int | None = None,
         level_hook: Callable[[int, np.ndarray, dict], None] | None = None,
         backend: str | None = None,
@@ -152,6 +195,12 @@ class EliminationEngine:
         self.mis_rounds = int(mis_rounds)
         self.seed = int(seed)
         self.diag_guard = diag_guard
+        self.pivot_policy = (
+            pivot_policy if pivot_policy is not None else PivotPolicy.from_diag_guard(diag_guard)
+        )
+        self.checkpoint = bool(checkpoint)
+        self.max_recoveries = int(max_recoveries)
+        self.recoveries = 0
         self.max_levels = max_levels if max_levels is not None else self.n + 1
         self.level_hook = level_hook
         self._tr = sim.tracer if sim is not None else None
@@ -206,6 +255,35 @@ class EliminationEngine:
         if self.sim is not None:
             self.sim.barrier()
 
+    def _recv_retry(self, src: int, dst: int, tag: object, nwords: float) -> object:
+        """Receive with bounded retransmission under fault injection.
+
+        The engine's payloads are accounting-only (``None``); what must
+        be replayed on a loss is the *charge* — the sender re-posts the
+        same message (journaled as ``retransmit``) up to
+        :data:`MAX_RETRANSMITS` times before the loss escalates to the
+        checkpoint-recovery layer.
+        """
+        assert self.sim is not None
+        for attempt in range(MAX_RETRANSMITS + 1):
+            try:
+                return self.sim.recv(dst, src, tag=tag)
+            except MessageLost:
+                if attempt == MAX_RETRANSMITS:
+                    raise
+                faults = self.sim.faults
+                if faults is not None:
+                    faults.journal.record(
+                        "retransmit",
+                        superstep=self.sim.superstep,
+                        src=src,
+                        dst=dst,
+                        tag=tag,
+                        detail=f"attempt {attempt + 1}",
+                    )
+                self.sim.send(src, dst, None, nwords, tag=tag)
+        raise AssertionError("unreachable")
+
     # ------------------------------------------------------------------
     # phase 1: interior factorization + interface reduction
     # ------------------------------------------------------------------
@@ -214,14 +292,7 @@ class EliminationEngine:
         return self.t * self.norms[i]
 
     def _guard_diag(self, i: int, diag: float) -> float:
-        if diag != 0.0:
-            return diag
-        if not self.diag_guard:
-            raise ZeroDivisionError(f"zero pivot at row {i}")
-        tau = self._tau(i)
-        if tau > 0:
-            return tau
-        return self.norms[i] if self.norms[i] > 0 else 1.0
+        return self.pivot_policy.resolve(i, diag, self._tau(i), self.norms[i])
 
     def _factor_interior_block(self, rank: int) -> None:
         """ILUT over ``rank``'s interior rows in ascending original index.
@@ -420,8 +491,8 @@ class EliminationEngine:
                     self.sim.compute(r, 2.0 * MIS_OPS_PER_EDGE * edges_per_rank[r])
                 for (src, dst), cnt in sorted(boundary_words.items()):
                     self.sim.send(src, dst, None, float(cnt), tag=("mis", level))
-                for (src, dst), _cnt in sorted(boundary_words.items()):
-                    self.sim.recv(dst, src, tag=("mis", level))
+                for (src, dst), cnt in sorted(boundary_words.items()):
+                    self._recv_retry(src, dst, ("mis", level), float(cnt))
                 self.sim.barrier()
                 self.sim.barrier()  # the two-step insert/remove barrier pair
         return remaining[mis_local]
@@ -475,14 +546,16 @@ class EliminationEngine:
                 s = int(part[k])
                 if s != r:
                     need.setdefault((s, r), set()).add(int(k))
+        pair_words: dict[tuple[int, int], float] = {}
         for (src, dst), rows_needed in sorted(need.items()):
             words = sum(
                 self.u_rows[k][0].size * 2.0 for k in rows_needed
             )  # indices + values
+            pair_words[(src, dst)] = words
             self.sim.send(src, dst, None, words, tag=("urow", level))
             self.u_rows_comm += len(rows_needed)
         for (src, dst), _rows_needed in sorted(need.items()):
-            self.sim.recv(dst, src, tag=("urow", level))
+            self._recv_retry(src, dst, ("urow", level), pair_words[(src, dst)])
 
     def _update_remaining(self, iset: np.ndarray) -> None:
         """Eliminate the ``I_l`` unknowns from every remaining reduced row.
@@ -557,11 +630,69 @@ class EliminationEngine:
             self._charge_copy(rank, float(rc_k.size + lc_m.size))
 
     # ------------------------------------------------------------------
+    # checkpoint / recovery
+    # ------------------------------------------------------------------
+
+    def _take_checkpoint(
+        self, interface_levels: list[np.ndarray], level: int
+    ) -> _EngineCheckpoint:
+        return _EngineCheckpoint(
+            u_rows=dict(self.u_rows),
+            l_rows=dict(self.l_rows),
+            reduced=dict(self.reduced),
+            pos=self.pos.copy(),
+            order=list(self.order),
+            level_sizes=list(self.level_sizes),
+            flops_total=self.flops_total,
+            words_copied=self.words_copied,
+            u_rows_comm=self.u_rows_comm,
+            interface_levels=list(interface_levels),
+            level=level,
+            sim_snap=self.sim.snapshot() if self.sim is not None else None,
+        )
+
+    def _restore_checkpoint(
+        self, ckpt: _EngineCheckpoint, err: BaseException
+    ) -> tuple[list[np.ndarray], int]:
+        """Roll the elimination (and simulator) back to ``ckpt``.
+
+        Copies on the way out too, so the same checkpoint survives a
+        second recovery.  Returns ``(interface_levels, level)`` for the
+        driver loop to resume with.
+        """
+        self.u_rows = dict(ckpt.u_rows)
+        self.l_rows = dict(ckpt.l_rows)
+        self.reduced = dict(ckpt.reduced)
+        self.pos = ckpt.pos.copy()
+        self.order = list(ckpt.order)
+        self.level_sizes = list(ckpt.level_sizes)
+        self.flops_total = ckpt.flops_total
+        self.words_copied = ckpt.words_copied
+        self.u_rows_comm = ckpt.u_rows_comm
+        self._acc.reset()
+        if self.sim is not None and ckpt.sim_snap is not None:
+            from ..machine import SimulatorSnapshot
+
+            assert isinstance(ckpt.sim_snap, SimulatorSnapshot)
+            self.sim.restore(
+                ckpt.sim_snap,
+                reason=f"resume from level {ckpt.level} after {type(err).__name__}: {err}",
+            )
+        self.recoveries += 1
+        return list(ckpt.interface_levels), ckpt.level
+
+    def _can_recover(self) -> bool:
+        return (
+            self.checkpoint
+            and self.sim is not None
+            and self.recoveries < self.max_recoveries
+        )
+
+    # ------------------------------------------------------------------
     # driver
     # ------------------------------------------------------------------
 
-    def run(self) -> EliminationOutcome:
-        """Execute phases 1 and 2 and assemble the permuted factors."""
+    def _run_phase1(self) -> list[tuple[int, int]]:
         nranks = self.decomp.nranks
         interior_ranges: list[tuple[int, int]] = []
         for r in range(nranks):
@@ -571,32 +702,63 @@ class EliminationEngine:
         for r in range(nranks):
             self._reduce_interface_rows(r)
         self._barrier()  # end of phase 1
+        return interior_ranges
+
+    def run(self) -> EliminationOutcome:
+        """Execute phases 1 and 2 and assemble the permuted factors.
+
+        With ``checkpoint=True`` the loop snapshots after phase 1 and
+        after every completed level; an injected
+        :class:`~repro.faults.RankFailure` (or a message loss that
+        survived every retransmit) rolls back to the last completed
+        level and recomputes — deterministically, so the final factors
+        are bit-identical to an undisturbed run.
+        """
+        ckpt = self._take_checkpoint([], -1) if self.checkpoint else None
+        while True:
+            try:
+                interior_ranges = self._run_phase1()
+                break
+            except (RankFailure, MessageLost) as err:
+                if ckpt is None or not self._can_recover():
+                    raise
+                self._restore_checkpoint(ckpt, err)
         if self.level_hook is not None:
             self.level_hook(-1, np.empty(0, dtype=np.int64), self.reduced)
 
         interface_levels: list[np.ndarray] = []
         level = 0
+        if self.checkpoint:
+            ckpt = self._take_checkpoint(interface_levels, level)
         while self.reduced:
             if level >= self.max_levels:
                 raise RuntimeError(
                     f"interface factorization did not terminate in {level} levels"
                 )
-            remaining = self._remaining_nodes()
-            iset = self._mis_of_reduced(remaining, level)
-            if iset.size == 0:
-                raise RuntimeError("empty independent set — cannot make progress")
-            pos_start = len(self.order)
-            self._factor_level(iset)
-            self._exchange_level_rows(iset, level)
-            self._update_remaining(iset)
+            try:
+                remaining = self._remaining_nodes()
+                iset = self._mis_of_reduced(remaining, level)
+                if iset.size == 0:
+                    raise RuntimeError("empty independent set — cannot make progress")
+                pos_start = len(self.order)
+                self._factor_level(iset)
+                self._exchange_level_rows(iset, level)
+                self._update_remaining(iset)
+                self._barrier()
+            except (RankFailure, MessageLost) as err:
+                if ckpt is None or not self._can_recover():
+                    raise
+                interface_levels, level = self._restore_checkpoint(ckpt, err)
+                continue
             if self.level_hook is not None:
                 self.level_hook(level, iset, self.reduced)
             interface_levels.append(
                 np.arange(pos_start, len(self.order), dtype=np.int64)
             )
             self.level_sizes.append(int(iset.size))
-            self._barrier()
             level += 1
+            if self.checkpoint:
+                ckpt = self._take_checkpoint(interface_levels, level)
 
         factors = self._assemble(interior_ranges, interface_levels)
         return EliminationOutcome(
@@ -606,6 +768,7 @@ class EliminationEngine:
             flops=self.flops_total,
             words_copied=self.words_copied,
             u_rows_communicated=self.u_rows_comm,
+            recoveries=self.recoveries,
         )
 
     def _assemble(

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..resilience import ZeroPivotError
 from ..sparse import COOBuilder, CSRMatrix, SparseRowAccumulator
 from .factors import ILUFactors
 
@@ -61,7 +62,7 @@ def ilu0(A: CSRMatrix, *, diag_guard: bool = True) -> ILUFactors:
         diag = float(rvals[dmask][0]) if np.any(dmask) else 0.0
         if diag == 0.0:
             if not diag_guard:
-                raise ZeroDivisionError(f"zero pivot at row {i}")
+                raise ZeroPivotError(f"zero pivot at row {i}", row=i, value=0.0)
             norm = float(np.sqrt(np.dot(vals, vals)))
             diag = norm if norm > 0 else 1.0
         if np.any(lmask):

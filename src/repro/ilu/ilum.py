@@ -19,6 +19,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..graph import Graph, two_step_luby_mis
+from ..resilience import ZeroPivotError
 from ..sparse import COOBuilder, CSRMatrix, SparseRowAccumulator
 from .dropping import keep_largest
 from .elimination import _merge_rows
@@ -80,7 +81,7 @@ def ilum(
         if d != 0.0:
             return d
         if not diag_guard:
-            raise ZeroDivisionError(f"zero pivot at row {i}")
+            raise ZeroPivotError(f"zero pivot at row {i}", row=i, value=0.0)
         ti = tau(i)
         if ti > 0:
             return ti

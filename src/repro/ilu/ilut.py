@@ -20,6 +20,7 @@ import warnings
 
 import numpy as np
 
+from ..resilience import PivotPolicy
 from ..sparse import COOBuilder, CSRMatrix, SparseRowAccumulator
 from .dropping import second_rule
 from .factors import ILUFactors
@@ -89,6 +90,7 @@ def ilut(
     *,
     m: int | None = None,
     diag_guard: bool = True,
+    pivot_policy: PivotPolicy | None = None,
     backend: str | None = None,
 ) -> ILUFactors:
     """Compute the ILUT factorization of ``A`` in natural order.
@@ -107,7 +109,14 @@ def ilut(
         If a pivot ``u_ii`` ends up exactly zero (dropped or missing),
         substitute ``tau_i`` (or the row-norm if ``tau_i`` is zero) so
         the factorization remains applicable.  With ``diag_guard=False``
-        a zero pivot raises :class:`ZeroDivisionError`.
+        a zero pivot raises a typed
+        :class:`~repro.resilience.ZeroPivotError` (a
+        ``ZeroDivisionError`` subclass).
+    pivot_policy:
+        Full small/zero-pivot remediation control
+        (:class:`~repro.resilience.PivotPolicy`); overrides
+        ``diag_guard`` when given.  The default maps ``diag_guard`` onto
+        the bit-exact legacy behaviour.
     backend:
         ``"reference"`` (scalar oracle), ``"vectorized"`` (bit-identical
         fast path), or ``None`` for the process default.
@@ -120,6 +129,7 @@ def ilut(
         ``fill_nnz``.
     """
     p = coerce_ilut_params("ilut", params, t, m)
+    policy = pivot_policy if pivot_policy is not None else PivotPolicy.from_diag_guard(diag_guard)
     n = A.shape[0]
     if A.shape[0] != A.shape[1]:
         raise ValueError(f"ILUT requires a square matrix, got {A.shape}")
@@ -130,7 +140,7 @@ def ilut(
         from ..kernels.ilut import ilut_vectorized
 
         L, U, _u_rows, flops = ilut_vectorized(
-            A, p.fill, p.threshold, diag_guard=diag_guard
+            A, p.fill, p.threshold, pivot_policy=policy
         )
         return ILUFactors(
             L=L,
@@ -190,10 +200,7 @@ def ilut(
         # 2nd dropping rule
         rcols, rvals = w.extract()
         (lcols, lvals), diag, (ucols, uvals) = second_rule(rcols, rvals, i, tau, mm)
-        if diag == 0.0:
-            if not diag_guard:
-                raise ZeroDivisionError(f"zero pivot at row {i}")
-            diag = tau if tau > 0 else (norms[i] if norms[i] > 0 else 1.0)
+        diag = policy.resolve(i, diag, tau, norms[i])
         if lcols.size:
             l_builder.add_batch(np.full(lcols.size, i, dtype=np.int64), lcols, lvals)
         u_builder.add(i, i, diag)

@@ -12,7 +12,9 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 from ..decomp import DomainDecomposition, decompose
+from ..faults import FaultJournal, FaultPlan
 from ..machine import CRAY_T3D, CommStats, MachineModel, Simulator
+from ..resilience import PivotPolicy
 from ..sparse import CSRMatrix
 from .elimination import EliminationEngine
 from .factors import ILUFactors
@@ -47,6 +49,11 @@ class ParallelILUResult:
     trace:
         The simulator's access tracer when run with ``trace=True`` —
         feed it to :func:`repro.verify.find_races`.
+    fault_journal:
+        The structured log of injected faults and recovery actions when
+        run with a ``faults=`` plan (``None`` otherwise).
+    recoveries:
+        Checkpoint rollbacks performed during the factorization.
     """
 
     factors: ILUFactors
@@ -58,6 +65,8 @@ class ParallelILUResult:
     flops: float
     words_copied: float
     trace: AccessTracer | None = None
+    fault_journal: FaultJournal | None = None
+    recoveries: int = 0
 
     @property
     def nranks(self) -> int:
@@ -80,7 +89,10 @@ def parallel_ilut(
     mis_rounds: int = 5,
     seed: int = 0,
     diag_guard: bool = True,
+    pivot_policy: PivotPolicy | None = None,
     trace: bool = False,
+    faults: FaultPlan | None = None,
+    checkpoint: bool | None = None,
     backend: str | None = None,
 ) -> ParallelILUResult:
     """Factor ``A`` with parallel ILUT(m, t) on ``nranks`` simulated PEs.
@@ -118,6 +130,18 @@ def parallel_ilut(
     trace:
         Record shared-object accesses for race detection (requires
         ``simulate=True``); see :mod:`repro.verify`.
+    pivot_policy:
+        Small/zero-pivot remediation
+        (:class:`~repro.resilience.PivotPolicy`); overrides
+        ``diag_guard`` when given.
+    faults:
+        A seeded :class:`~repro.faults.FaultPlan` to inject message and
+        rank faults into the simulated run (requires ``simulate=True``);
+        the journal lands in ``ParallelILUResult.fault_journal``.
+    checkpoint:
+        Snapshot per-level state so an injected rank crash resumes from
+        the last completed level.  ``None`` (default) enables
+        checkpointing exactly when a fault plan is supplied.
     backend:
         Kernel backend for the elimination inner loops (bit-identical
         results); ``None`` uses the process default.
@@ -147,7 +171,11 @@ def parallel_ilut(
         )
     if trace and not simulate:
         raise ValueError("trace=True requires simulate=True")
-    sim = Simulator(nranks, model, trace=trace) if simulate else None
+    if faults is not None and not simulate:
+        raise ValueError("faults= requires simulate=True")
+    if checkpoint is None:
+        checkpoint = faults is not None
+    sim = Simulator(nranks, model, trace=trace, faults=faults) if simulate else None
     engine = EliminationEngine(
         decomp,
         p.fill,
@@ -157,6 +185,8 @@ def parallel_ilut(
         mis_rounds=mis_rounds,
         seed=seed,
         diag_guard=diag_guard,
+        pivot_policy=pivot_policy,
+        checkpoint=checkpoint,
         backend=backend,
     )
     outcome = engine.run()
@@ -170,6 +200,8 @@ def parallel_ilut(
         flops=outcome.flops,
         words_copied=outcome.words_copied,
         trace=sim.tracer if sim is not None else None,
+        fault_journal=sim.fault_journal if sim is not None else None,
+        recoveries=outcome.recoveries,
     )
 
 

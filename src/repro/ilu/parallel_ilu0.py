@@ -16,6 +16,7 @@ import numpy as np
 from ..decomp import DomainDecomposition, decompose
 from ..graph import Graph, color_classes, greedy_coloring
 from ..machine import CRAY_T3D, MachineModel, Simulator
+from ..resilience import ZeroPivotError
 from ..sparse import COOBuilder, CSRMatrix, SparseRowAccumulator
 from .factors import ILUFactors, LevelStructure
 from .parallel import ParallelILUResult
@@ -131,7 +132,7 @@ def parallel_ilu0(
         diag = float(rvals[dmask][0]) if np.any(dmask) else 0.0
         if diag == 0.0:
             if not diag_guard:
-                raise ZeroDivisionError(f"zero pivot at row {i}")
+                raise ZeroPivotError(f"zero pivot at row {i}", row=i, value=0.0)
             diag = norms[i] if norms[i] > 0 else 1.0
         p_i = int(pos[i])
         if np.any(lmask):

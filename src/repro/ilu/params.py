@@ -55,6 +55,21 @@ class ILUTParams:
             return None
         return self.k * self.fill
 
+    def relaxed(self, factor: float = 10.0) -> "ILUTParams":
+        """A more breakdown-resistant variant of these parameters.
+
+        Multiplies the drop threshold by ``factor`` (dropping more
+        aggressively pushes the factor toward the diagonally dominant
+        end of the spectrum, where elimination rarely breaks down) —
+        the step the retry/fallback layers take between attempts.  A
+        zero threshold relaxes to a small absolute one so repeated
+        relaxation still makes progress.
+        """
+        if factor <= 1.0:
+            raise ValueError(f"relaxation factor must be > 1, got {factor}")
+        new_t = self.threshold * factor if self.threshold > 0 else 1e-8 * factor
+        return ILUTParams(fill=self.fill, threshold=new_t, k=self.k)
+
     def describe(self) -> str:
         if self.k is None:
             return f"ILUT(m={self.fill}, t={self.threshold:g})"

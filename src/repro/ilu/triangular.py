@@ -27,6 +27,7 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from ..faults import FaultJournal, FaultPlan
 from ..machine import CRAY_T3D, CommStats, MachineModel, Simulator
 from .factors import ILUFactors
 
@@ -45,6 +46,7 @@ class TriangularSolveResult:
     comm: CommStats | None
     flops: float
     trace: AccessTracer | None = None
+    fault_journal: FaultJournal | None = None
 
 
 def _cross_rank_receivers(
@@ -190,6 +192,7 @@ def _solve_vectorized(factors, b, sim, tr):
         comm=sim.stats() if sim is not None else None,
         flops=flops_total,
         trace=tr,
+        fault_journal=sim.fault_journal if sim is not None else None,
     )
 
 
@@ -202,6 +205,7 @@ def parallel_triangular_solve(
     simulate: bool = True,
     trace: bool = False,
     backend: str | None = None,
+    faults: FaultPlan | None = None,
 ) -> TriangularSolveResult:
     """Apply the preconditioner ``M^{-1} b`` with the two-phase schedule.
 
@@ -216,6 +220,11 @@ def parallel_triangular_solve(
     follow the reference schedule row for row: ``modeled_time``, ``comm``
     and race-detection results are identical to the reference backend,
     and ``x`` agrees to roundoff.
+
+    ``faults`` arms a :class:`~repro.faults.FaultPlan` on the simulator
+    (requires ``simulate=True``); message-level faults surface as
+    :class:`~repro.faults.MessageLost` / :class:`~repro.faults.RankFailure`
+    and the journal is returned on the result.
     """
     if factors.levels is None:
         raise ValueError(
@@ -232,7 +241,9 @@ def parallel_triangular_solve(
         nranks = int(owner.max()) + 1 if owner.size else 1
     if trace and not simulate:
         raise ValueError("trace=True requires simulate=True")
-    sim = Simulator(nranks, model, trace=trace) if simulate else None
+    if faults is not None and not simulate:
+        raise ValueError("faults= requires simulate=True")
+    sim = Simulator(nranks, model, trace=trace, faults=faults) if simulate else None
     tr = sim.tracer if sim is not None else None
     L, U = factors.L, factors.U
     flops_total = 0.0
@@ -348,4 +359,5 @@ def parallel_triangular_solve(
         comm=sim.stats() if sim is not None else None,
         flops=flops_total,
         trace=tr,
+        fault_journal=sim.fault_journal if sim is not None else None,
     )

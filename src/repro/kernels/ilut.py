@@ -28,6 +28,7 @@ from bisect import bisect_left
 
 import numpy as np
 
+from ..resilience import PivotPolicy
 from ..sparse.csr import CSRMatrix
 from .dropping import keep_largest_sorted
 
@@ -56,14 +57,19 @@ def ilut_vectorized(
     t: float,
     *,
     diag_guard: bool = True,
+    pivot_policy: PivotPolicy | None = None,
 ) -> tuple[CSRMatrix, CSRMatrix, list[tuple[np.ndarray, np.ndarray]], int]:
     """Core of the vectorized ILUT(m, t) elimination.
 
     Returns ``(L, U, u_rows, flops)`` with ``u_rows`` holding each U row
     diagonal-first; parameter validation and the
     :class:`~repro.ilu.factors.ILUFactors` packaging stay in the
-    dispatching :func:`repro.ilu.ilut.ilut`.
+    dispatching :func:`repro.ilu.ilut.ilut`.  ``pivot_policy`` overrides
+    the legacy ``diag_guard`` boolean when given; the pivot remediation
+    must match the reference kernel's bit-for-bit (same
+    :meth:`~repro.resilience.PivotPolicy.resolve` arguments).
     """
+    policy = pivot_policy if pivot_policy is not None else PivotPolicy.from_diag_guard(diag_guard)
     n = A.shape[0]
     # thresholds must match the reference bit-for-bit under any default
     norms = A.row_norms(ord=2, backend="reference")
@@ -152,10 +158,7 @@ def ilut_vectorized(
         um = np.abs(uv) >= tau
         uc, uv = uc[um], uv[um]
         ucols, uvals = keep_largest_sorted(uc, uv, m) if uc.size > m else (uc, uv)
-        if diag == 0.0:
-            if not diag_guard:
-                raise ZeroDivisionError(f"zero pivot at row {i}")
-            diag = tau if tau > 0 else (float(norms[i]) if norms[i] > 0 else 1.0)
+        diag = policy.resolve(i, diag, tau, float(norms[i]))
 
         if lcols.size:
             l_counts[i] = lcols.size

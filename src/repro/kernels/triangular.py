@@ -22,6 +22,7 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from ..resilience import ZeroPivotError
 from .csr import segment_sums
 
 if TYPE_CHECKING:
@@ -119,7 +120,10 @@ class BatchedTriangularSchedule:
             diag = np.zeros(n, dtype=np.float64)
             diag[rows_all[on]] = M.data[on]
             if np.any(diag == 0.0):
-                raise ZeroDivisionError("zero pivot in triangular factor")
+                row = int(np.flatnonzero(diag == 0.0)[0])
+                raise ZeroPivotError(
+                    f"zero pivot in triangular factor (row {row})", row=row, value=0.0
+                )
             self.diag = diag
             off = ~on
             off_indices = M.indices[off]

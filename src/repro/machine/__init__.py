@@ -3,7 +3,7 @@ message passing and collectives, driven by an analytic cost model
 (Cray T3D preset and others)."""
 
 from .model import CRAY_T3D, IDEAL, WORKSTATION_CLUSTER, MachineModel
-from .simulator import CommStats, Simulator
+from .simulator import CommStats, Simulator, SimulatorSnapshot
 
 __all__ = [
     "MachineModel",
@@ -12,4 +12,5 @@ __all__ = [
     "IDEAL",
     "Simulator",
     "CommStats",
+    "SimulatorSnapshot",
 ]

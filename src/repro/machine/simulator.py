@@ -31,6 +31,24 @@ The simulator is single-threaded and deterministic: "ranks" are just
 indices, and the driver code interleaves their work explicitly, which is
 exactly the superstep structure of the algorithms in the paper.
 
+Fault injection
+---------------
+Constructing the simulator with ``faults=FaultPlan(...)`` arms a
+deterministic, seeded fault harness (see :mod:`repro.faults`): matching
+point-to-point messages can be dropped, delayed, duplicated or
+corrupted, and ranks can be stalled or crashed at a chosen superstep
+(the count of completed barriers + collectives).  Every injected event
+is appended to :attr:`Simulator.fault_journal`.  Under an active plan a
+receive that finds its mailbox empty raises
+:class:`~repro.faults.MessageLost` instead of the hard deadlock error,
+so drivers can retransmit; an armed crash raises
+:class:`~repro.faults.RankFailure` at the victim's next activity.
+:meth:`snapshot` / :meth:`restore` capture and roll back the full
+timing + mailbox state so a checkpointing driver can resume from the
+last completed level after a crash (crash faults are one-shot and stay
+disarmed across a restore).  The default ``faults=None`` keeps the hot
+path at a ``None`` check per call.
+
 Race detection
 --------------
 With ``trace=True`` the simulator carries an
@@ -52,12 +70,13 @@ from typing import TYPE_CHECKING, Any, Iterable
 
 import numpy as np
 
+from ..faults import FaultJournal, FaultPlan, FaultRuntime, MessageLost
 from .model import MachineModel
 
 if TYPE_CHECKING:
     from ..verify.trace import AccessTracer
 
-__all__ = ["Simulator", "CommStats"]
+__all__ = ["Simulator", "CommStats", "SimulatorSnapshot"]
 
 
 @dataclass
@@ -83,10 +102,40 @@ class CommStats:
         return self.max_flops() / mean if mean > 0 else 1.0
 
 
+@dataclass
+class SimulatorSnapshot:
+    """Frozen copy of a :class:`Simulator`'s timing + mailbox state.
+
+    Produced by :meth:`Simulator.snapshot`; consumed by
+    :meth:`Simulator.restore`.  Fault-runtime state (which faults have
+    already fired) deliberately lives *outside* the snapshot so a
+    restored run does not re-arm a one-shot crash.
+    """
+
+    clock: np.ndarray
+    flops: np.ndarray
+    busy: np.ndarray
+    mail: dict[
+        tuple[int, int, Any],
+        deque[tuple[float, Any, float, tuple[int, ...] | None]],
+    ]
+    messages: int
+    words: float
+    barriers: int
+    collectives: int
+
+
 class Simulator:
     """A virtual ``nranks``-PE distributed-memory machine."""
 
-    def __init__(self, nranks: int, model: MachineModel, *, trace: bool = False) -> None:
+    def __init__(
+        self,
+        nranks: int,
+        model: MachineModel,
+        *,
+        trace: bool = False,
+        faults: FaultPlan | None = None,
+    ) -> None:
         if nranks < 1:
             raise ValueError(f"nranks must be >= 1, got {nranks}")
         self.nranks = int(nranks)
@@ -104,6 +153,7 @@ class Simulator:
         self._words = 0.0
         self._barriers = 0
         self._collectives = 0
+        self.faults: FaultRuntime | None = faults.runtime() if faults is not None else None
         self.tracer: AccessTracer | None = None
         if trace:
             # imported lazily: verify pulls in the ilu/graph layers, which
@@ -121,11 +171,33 @@ class Simulator:
             raise IndexError(f"rank {rank} out of range [0, {self.nranks})")
         return int(rank)
 
+    @property
+    def superstep(self) -> int:
+        """Synchronisation count: completed barriers + collectives.
+
+        This is the clock rank faults are scheduled against — it is
+        deterministic across kernel backends, unlike the modelled time.
+        """
+        return self._barriers + self._collectives
+
+    @property
+    def fault_journal(self) -> FaultJournal | None:
+        """The structured fault journal, or ``None`` without a plan."""
+        return self.faults.journal if self.faults is not None else None
+
+    def _guard_rank(self, rank: int) -> None:
+        """Fire pending rank faults (crash raises, stall charges time)."""
+        if self.faults is not None:
+            stall = self.faults.on_rank_activity(rank, self.superstep)
+            if stall > 0:
+                self.clock[rank] += stall
+
     def compute(self, rank: int, flops: float) -> None:
         """Charge ``flops`` floating-point operations to ``rank``."""
         rank = self._check_rank(rank)
         if flops < 0:
             raise ValueError(f"flops must be non-negative, got {flops}")
+        self._guard_rank(rank)
         cost = self.model.compute_cost(flops)
         self.clock[rank] += cost
         self._busy[rank] += cost
@@ -136,6 +208,7 @@ class Simulator:
         rank = self._check_rank(rank)
         if seconds < 0:
             raise ValueError("seconds must be non-negative")
+        self._guard_rank(rank)
         self.clock[rank] += seconds
 
     # ------------------------------------------------------------------
@@ -143,11 +216,18 @@ class Simulator:
     # ------------------------------------------------------------------
 
     def send(self, src: int, dst: int, payload: Any, nwords: float, tag: Any = None) -> None:
-        """Post a message; the sender is charged the injection overhead."""
+        """Post a message; the sender is charged the injection overhead.
+
+        Under an active fault plan the message may be dropped (charged
+        to the sender, never enqueued), delayed, duplicated or — for
+        float payloads — corrupted; every effect is journaled.  Local
+        ``src == dst`` hand-offs are not messages and bypass the plan.
+        """
         src = self._check_rank(src)
         dst = self._check_rank(dst)
         if nwords < 0:
             raise ValueError("nwords must be non-negative")
+        self._guard_rank(src)
         attached = self.tracer.on_send(src) if self.tracer is not None else None
         if src == dst:
             # local hand-off: free, but keep FIFO semantics
@@ -158,16 +238,37 @@ class Simulator:
         # sender pays the injection (latency) portion; overlap of the
         # transfer with computation is the usual MPI eager-protocol model
         self.clock[src] += self.model.latency
-        self._mail[(src, dst, tag)].append((arrival, payload, nwords, attached))
         self._messages += 1
         self._words += nwords
+        if self.faults is not None:
+            effect = self.faults.on_send(src, dst, tag, payload, self.superstep)
+            if not effect.deliver:
+                return
+            arrival += effect.extra_delay
+            for _ in range(effect.copies):
+                self._mail[(src, dst, tag)].append((arrival, effect.payload, nwords, attached))
+            if effect.copies > 1:
+                self._messages += effect.copies - 1
+                self._words += nwords * (effect.copies - 1)
+            return
+        self._mail[(src, dst, tag)].append((arrival, payload, nwords, attached))
 
     def recv(self, dst: int, src: int, tag: Any = None) -> Any:
-        """Blocking receive: waits (advances the clock) until arrival."""
+        """Blocking receive: waits (advances the clock) until arrival.
+
+        Under an active fault plan an empty mailbox raises the typed
+        :class:`~repro.faults.MessageLost` (the message was dropped and
+        the caller may retransmit); without a plan it is a programming
+        error and raises the hard deadlock ``RuntimeError``.
+        """
         dst = self._check_rank(dst)
         src = self._check_rank(src)
+        self._guard_rank(dst)
         box = self._mail[(src, dst, tag)]
         if not box:
+            if self.faults is not None:
+                self.faults.on_lost(src, dst, tag, self.superstep)
+                raise MessageLost(src, dst, tag)
             raise RuntimeError(
                 f"deadlock: rank {dst} receives from {src} (tag={tag!r}) "
                 "but no message was sent"
@@ -203,9 +304,16 @@ class Simulator:
     # collectives
     # ------------------------------------------------------------------
 
+    def _guard_all(self) -> None:
+        """Every rank participates in a collective — fire pending faults."""
+        if self.faults is not None:
+            for rank in range(self.nranks):
+                self._guard_rank(rank)
+
     def barrier(self) -> None:
         """Synchronise all ranks: wait for the slowest, plus the cost of a
         log2(p)-step synchronisation tree (zero-payload collective)."""
+        self._guard_all()
         self.clock[:] = self.clock.max() + self.model.collective_cost(self.nranks, 0.0)
         self._barriers += 1
         if self.tracer is not None:
@@ -221,6 +329,7 @@ class Simulator:
             raise ValueError(
                 f"allreduce expects one value per rank ({self.nranks}), got {arr.shape}"
             )
+        self._guard_all()
         nwords = float(np.prod(arr.shape[1:])) if arr.ndim > 1 else 1.0
         cost = self.model.collective_cost(self.nranks, nwords)
         self.clock[:] = self.clock.max() + cost
@@ -243,6 +352,7 @@ class Simulator:
             raise ValueError(
                 f"allgather expects one payload per rank ({self.nranks}), got {len(values)}"
             )
+        self._guard_all()
         cost = self.model.collective_cost(self.nranks, nwords_each * self.nranks)
         self.clock[:] = self.clock.max() + cost
         self._collectives += 1
@@ -269,6 +379,47 @@ class Simulator:
         """Declare that ``rank`` writes shared object ``(space, index)``."""
         if self.tracer is not None:
             self.tracer.write(rank, space, int(index))
+
+    # ------------------------------------------------------------------
+    # checkpoint / restart
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> SimulatorSnapshot:
+        """Capture the timing + mailbox state for a later :meth:`restore`.
+
+        Payloads are not deep-copied: drivers in this codebase treat
+        message payloads as immutable once posted.  Fault-runtime state
+        (fired crash/stall flags, corruption RNG position) is *not*
+        captured — a one-shot crash stays fired across a restore.
+        """
+        return SimulatorSnapshot(
+            clock=self.clock.copy(),
+            flops=self._flops.copy(),
+            busy=self._busy.copy(),
+            mail={key: deque(box) for key, box in self._mail.items() if box},
+            messages=self._messages,
+            words=self._words,
+            barriers=self._barriers,
+            collectives=self._collectives,
+        )
+
+    def restore(self, snap: SimulatorSnapshot, *, reason: str = "") -> None:
+        """Roll clocks, counters and mailboxes back to ``snap``.
+
+        Journals a ``restore`` event when a fault plan is active.
+        """
+        self.clock[:] = snap.clock
+        self._flops[:] = snap.flops
+        self._busy[:] = snap.busy
+        self._mail = defaultdict(deque, {key: deque(box) for key, box in snap.mail.items()})
+        self._messages = snap.messages
+        self._words = snap.words
+        self._barriers = snap.barriers
+        self._collectives = snap.collectives
+        if self.faults is not None:
+            self.faults.journal.record(
+                "restore", superstep=self.superstep, detail=reason
+            )
 
     # ------------------------------------------------------------------
     # results

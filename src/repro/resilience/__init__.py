@@ -1,0 +1,29 @@
+"""Numerical-breakdown resilience: typed breakdown errors, pivot
+remediation policies, NaN/Inf apply guards, preconditioner fallback
+chains with failure reports, and parameter-relaxation retry."""
+
+from .breakdown import (
+    FallbackExhausted,
+    NonFiniteError,
+    NumericalBreakdown,
+    PivotPolicy,
+    ZeroDiagonalError,
+    ZeroPivotError,
+    assert_finite,
+)
+from .fallback import FailureRecord, FailureReport, RobustPreconditioner
+from .retry import RetryPolicy
+
+__all__ = [
+    "NumericalBreakdown",
+    "ZeroPivotError",
+    "ZeroDiagonalError",
+    "NonFiniteError",
+    "FallbackExhausted",
+    "PivotPolicy",
+    "assert_finite",
+    "FailureRecord",
+    "FailureReport",
+    "RobustPreconditioner",
+    "RetryPolicy",
+]

@@ -1,0 +1,199 @@
+"""Preconditioner fallback chain with a structured failure report.
+
+:class:`RobustPreconditioner` wraps an ordered chain of candidate
+preconditioners (typically strong → weak, e.g. ``ILUT(params) →
+ILUT(relaxed) → ILU0 → Jacobi``, the parGeMSLR-style graceful
+degradation).  ``setup(A)`` tries each candidate in order: a candidate
+that raises :class:`~repro.resilience.NumericalBreakdown` during setup,
+or whose probe application returns NaN/Inf, is recorded in a
+:class:`FailureReport` and the chain falls through to the next.  The
+report travels with the preconditioner (``failure_report`` attribute)
+and the iterative solvers copy it into ``SolveResult.failure_report``,
+so a converged solve still tells you that its strong preconditioner
+broke down and what it fell back to.
+
+This module deliberately imports the solver layer lazily (inside
+functions): ``repro.solvers`` imports ``repro.ilu`` which may import
+``repro.resilience`` at module load, so an eager import here would
+cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+import numpy as np
+
+from .breakdown import FallbackExhausted, NumericalBreakdown, assert_finite
+
+__all__ = [
+    "FailureRecord",
+    "FailureReport",
+    "RobustPreconditioner",
+]
+
+
+@dataclass(frozen=True)
+class FailureRecord:
+    """One failed stage: which candidate/attempt, and why."""
+
+    stage: str
+    error_type: str
+    message: str
+    row: int = -1
+
+    @classmethod
+    def from_exception(cls, stage: str, err: BaseException) -> "FailureRecord":
+        return cls(
+            stage=stage,
+            error_type=type(err).__name__,
+            message=str(err),
+            row=int(getattr(err, "row", -1)),
+        )
+
+    def describe(self) -> str:
+        where = f" (row {self.row})" if self.row >= 0 else ""
+        return f"{self.stage}: {self.error_type}{where}: {self.message}"
+
+
+@dataclass
+class FailureReport:
+    """Ordered log of breakdown/fallback events for one setup or solve."""
+
+    records: list[FailureRecord] = field(default_factory=list)
+    succeeded: str = ""
+
+    def record(self, stage: str, err: BaseException) -> FailureRecord:
+        rec = FailureRecord.from_exception(stage, err)
+        self.records.append(rec)
+        return rec
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __bool__(self) -> bool:
+        return bool(self.records)
+
+    def summary(self) -> str:
+        if not self.records:
+            return f"no failures (used {self.succeeded})" if self.succeeded else "no failures"
+        lines = [rec.describe() for rec in self.records]
+        if self.succeeded:
+            lines.append(f"recovered with {self.succeeded}")
+        return "; ".join(lines)
+
+
+def _candidate_name(candidate: Any, index: int) -> str:
+    name = getattr(candidate, "name", None)
+    if isinstance(name, str) and name:
+        return name
+    params = getattr(candidate, "params", None)
+    describe = getattr(params, "describe", None)
+    if callable(describe):
+        return f"{type(candidate).__name__}[{describe()}]"
+    return f"{type(candidate).__name__}#{index}"
+
+
+class RobustPreconditioner:
+    """Try a chain of preconditioners until one sets up and applies finitely.
+
+    Conforms to the :class:`~repro.solvers.preconditioners.Preconditioner`
+    protocol by duck typing (``setup``/``apply``/``flops``), so it can be
+    passed as ``M=`` to any solver.  After :meth:`setup`, :attr:`active`
+    is the surviving candidate and :attr:`failure_report` documents every
+    candidate that broke down before it.
+
+    Parameters
+    ----------
+    chain:
+        Candidate preconditioners, strongest first.  Each must offer
+        ``setup(A)`` and ``apply(r)``.
+    probe:
+        Apply each freshly set-up candidate to a deterministic probe
+        vector and reject it on a NaN/Inf result (default ``True``) —
+        this is what catches corrupted factors whose setup succeeded.
+    guard_applies:
+        Assert every production :meth:`apply` output is finite
+        (default ``True``).
+    """
+
+    def __init__(
+        self,
+        chain: Sequence[Any],
+        *,
+        probe: bool = True,
+        guard_applies: bool = True,
+    ) -> None:
+        if not chain:
+            raise ValueError("RobustPreconditioner needs a non-empty chain")
+        self.chain = list(chain)
+        self.probe = probe
+        self.guard_applies = guard_applies
+        self.active: Any | None = None
+        self.active_name: str = ""
+        self.failure_report = FailureReport()
+
+    @classmethod
+    def default_chain(cls, params: Any = None, **kwargs: Any) -> "RobustPreconditioner":
+        """The canonical ``ILUT → ILUT(relaxed) → ILU0 → Jacobi`` chain."""
+        from ..ilu.params import ILUTParams
+        from ..solvers.preconditioners import (
+            DiagonalPreconditioner,
+            ILU0Preconditioner,
+            ILUPreconditioner,
+        )
+
+        if params is None:
+            params = ILUTParams(fill=10, threshold=1e-4)
+        return cls(
+            [
+                ILUPreconditioner(params=params),
+                ILUPreconditioner(params=params.relaxed()),
+                ILU0Preconditioner(),
+                DiagonalPreconditioner(),
+            ],
+            **kwargs,
+        )
+
+    def setup(self, A: Any) -> "RobustPreconditioner":
+        if self.active is not None:
+            return self
+        n = int(getattr(A, "n", 0) or getattr(A, "shape", (0,))[0])
+        probe_vec = np.ones(n, dtype=np.float64) if n else None
+        last: BaseException | None = None
+        for index, candidate in enumerate(self.chain):
+            name = _candidate_name(candidate, index)
+            try:
+                configured = candidate.setup(A)
+                if self.probe and probe_vec is not None:
+                    assert_finite(
+                        configured.apply(probe_vec), where=f"{name} probe apply"
+                    )
+            except NumericalBreakdown as err:
+                self.failure_report.record(name, err)
+                last = err
+                continue
+            self.active = configured
+            self.active_name = name
+            self.failure_report.succeeded = name
+            return self
+        raise FallbackExhausted(
+            "all preconditioners in the fallback chain broke down: "
+            + self.failure_report.summary()
+        ) from last
+
+    def apply(self, r: np.ndarray) -> np.ndarray:
+        if self.active is None:
+            raise RuntimeError("RobustPreconditioner not set up; call setup(A) first")
+        out = self.active.apply(r)
+        if self.guard_applies:
+            assert_finite(out, where=f"{self.active_name} apply")
+        return np.asarray(out)
+
+    def flops(self) -> float:
+        flops = getattr(self.active, "flops", None)
+        return float(flops()) if callable(flops) else 0.0
+
+    def __call__(self, r: np.ndarray) -> np.ndarray:
+        return self.apply(r)

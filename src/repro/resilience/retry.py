@@ -1,0 +1,80 @@
+"""Bounded retry with parameter relaxation for factorization setup.
+
+Where :class:`~repro.resilience.fallback.RobustPreconditioner` switches
+*algorithms*, :class:`RetryPolicy` stays with one algorithm and backs
+off its *parameters*: each retry multiplies the ILUT drop threshold by
+``relax_factor`` (dropping more aggressively pushes the factor toward
+the diagonally dominant end of the spectrum, where breakdown is rare),
+bounded by ``max_attempts``.  Failures land in the same
+:class:`~repro.resilience.fallback.FailureReport` the fallback chain
+uses, so a solve's report reads as one linear story regardless of which
+mechanism recovered it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator, TypeVar
+
+from .breakdown import FallbackExhausted, NumericalBreakdown
+from .fallback import FailureReport
+
+__all__ = ["RetryPolicy"]
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Re-attempt a parameterised setup with relaxed parameters.
+
+    ``max_attempts`` counts the initial attempt; ``relax_factor`` is the
+    per-retry multiplier applied via ``params.relaxed(relax_factor)``
+    (see :meth:`repro.ilu.params.ILUTParams.relaxed`).
+    """
+
+    max_attempts: int = 3
+    relax_factor: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.relax_factor <= 1.0:
+            raise ValueError(f"relax_factor must be > 1, got {self.relax_factor}")
+
+    def schedule(self, params: Any) -> Iterator[Any]:
+        """Yield ``max_attempts`` parameter sets, each more relaxed."""
+        current = params
+        for _ in range(self.max_attempts):
+            yield current
+            current = current.relaxed(self.relax_factor)
+
+    def run(
+        self,
+        action: Callable[[Any], T],
+        params: Any,
+        *,
+        report: FailureReport | None = None,
+    ) -> tuple[T, FailureReport]:
+        """Call ``action(params_i)`` until one attempt succeeds.
+
+        Returns ``(result, report)``; raises
+        :class:`~repro.resilience.FallbackExhausted` after
+        ``max_attempts`` breakdowns, chaining the last one.
+        """
+        rep = report if report is not None else FailureReport()
+        last: NumericalBreakdown | None = None
+        for attempt, p in enumerate(self.schedule(params)):
+            describe = getattr(p, "describe", None)
+            label = describe() if callable(describe) else repr(p)
+            try:
+                result = action(p)
+            except NumericalBreakdown as err:
+                rep.record(f"attempt {attempt + 1}/{self.max_attempts} [{label}]", err)
+                last = err
+                continue
+            rep.succeeded = rep.succeeded or f"attempt {attempt + 1} [{label}]"
+            return result, rep
+        raise FallbackExhausted(
+            f"setup failed after {self.max_attempts} attempt(s): {rep.summary()}"
+        ) from last

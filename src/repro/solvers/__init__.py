@@ -10,6 +10,7 @@ from .parallel_matvec import MatvecResult, parallel_matvec
 from .preconditioners import (
     DiagonalPreconditioner,
     IdentityPreconditioner,
+    ILU0Preconditioner,
     ILUPreconditioner,
     Preconditioner,
     prepare_preconditioner,
@@ -40,6 +41,7 @@ __all__ = [
     "IdentityPreconditioner",
     "DiagonalPreconditioner",
     "ILUPreconditioner",
+    "ILU0Preconditioner",
     "model_gmres_time",
     "model_diagonal_precond_time",
     "jacobi",

@@ -40,6 +40,7 @@ def bicgstab(
     b = np.asarray(b, dtype=np.float64)
     n = b.size
     M = prepare_preconditioner(M, A)
+    failure_report = getattr(M, "failure_report", None)
     x = np.zeros(n) if x0 is None else np.asarray(x0, dtype=np.float64).copy()
 
     r = b - matvec(x) if x.any() else b.copy()
@@ -56,6 +57,7 @@ def bicgstab(
             residual_norms=hist,
             elapsed=time.perf_counter() - t_start,
             num_matvec=nmv,
+            failure_report=failure_report,
         )
     target = tol * r0_norm
 
@@ -123,4 +125,5 @@ def bicgstab(
         elapsed=time.perf_counter() - t_start,
         num_matvec=nmv,
         breakdown=breakdown,
+        failure_report=failure_report,
     )

@@ -37,6 +37,7 @@ def cg(
     b = np.asarray(b, dtype=np.float64)
     n = b.size
     M = prepare_preconditioner(M, A)
+    failure_report = getattr(M, "failure_report", None)
     x = np.zeros(n) if x0 is None else np.asarray(x0, dtype=np.float64).copy()
 
     r = b - matvec(x) if x.any() else b.copy()
@@ -55,6 +56,7 @@ def cg(
             residual_norms=hist,
             elapsed=time.perf_counter() - t_start,
             num_matvec=nmv,
+            failure_report=failure_report,
         )
 
     converged = False
@@ -86,4 +88,5 @@ def cg(
         residual_norms=hist,
         elapsed=time.perf_counter() - t_start,
         num_matvec=nmv,
+        failure_report=failure_report,
     )

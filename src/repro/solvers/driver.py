@@ -14,10 +14,12 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..decomp import decompose
+from ..faults import FaultJournal, FaultPlan
 from ..ilu.parallel import parallel_ilut, parallel_ilut_star
 from ..ilu.params import ILUTParams
 from ..ilu.triangular import parallel_triangular_solve
 from ..machine import CRAY_T3D, MachineModel
+from ..resilience import FailureReport, RetryPolicy
 from ..sparse import CSRMatrix
 from .gmres import GMRESResult, gmres
 from .modeled import model_gmres_time
@@ -29,7 +31,14 @@ __all__ = ["ParallelSolveReport", "parallel_solve"]
 
 @dataclass
 class ParallelSolveReport:
-    """Everything a paper-style evaluation row needs."""
+    """Everything a paper-style evaluation row needs.
+
+    ``failure_report`` records the factorization retry history when a
+    :class:`~repro.resilience.RetryPolicy` was engaged (``None`` when the
+    first attempt succeeded and no policy was given); ``fault_journal``
+    and ``recoveries`` carry the injected-fault log and the number of
+    checkpoint restarts when a :class:`~repro.faults.FaultPlan` was armed.
+    """
 
     x: np.ndarray
     converged: bool
@@ -39,6 +48,9 @@ class ParallelSolveReport:
     solve_time: float
     matvec_time: float
     precond_time: float
+    failure_report: FailureReport | None = None
+    fault_journal: FaultJournal | None = None
+    recoveries: int = 0
 
     @property
     def total_time(self) -> float:
@@ -59,6 +71,8 @@ def parallel_solve(
     maxiter: int = 20_000,
     model: MachineModel = CRAY_T3D,
     seed: int = 0,
+    retry: RetryPolicy | None = None,
+    faults: FaultPlan | None = None,
 ) -> ParallelSolveReport:
     """Solve ``A x = b`` with parallel ILUT(*)-preconditioned GMRES.
 
@@ -67,13 +81,32 @@ def parallel_solve(
     the modelled factorization time and the modelled GMRES run time
     (driven by the measured per-application matvec/trisolve times and
     the real NMV count).
+
+    ``retry`` engages a :class:`~repro.resilience.RetryPolicy` around the
+    factorization: a :class:`~repro.resilience.NumericalBreakdown` retries
+    with relaxed parameters (larger drop threshold) and the attempt
+    history lands in the report's ``failure_report``.  ``faults`` arms a
+    :class:`~repro.faults.FaultPlan` on the factorization's simulator;
+    recoverable faults (rank crash, message drop) are absorbed by the
+    engine's checkpoint/restart and counted in ``recoveries``.
     """
     d = decompose(A, nranks, seed=seed)
     params = ILUTParams(fill=m, threshold=t, k=k)
-    if k is None:
-        fact = parallel_ilut(A, params, nranks, decomp=d, model=model, seed=seed)
+
+    def _factor(p: ILUTParams):
+        if p.k is None:
+            return parallel_ilut(
+                A, p, nranks, decomp=d, model=model, seed=seed, faults=faults
+            )
+        return parallel_ilut_star(
+            A, p, nranks, decomp=d, model=model, seed=seed, faults=faults
+        )
+
+    failure_report: FailureReport | None = None
+    if retry is None:
+        fact = _factor(params)
     else:
-        fact = parallel_ilut_star(A, params, nranks, decomp=d, model=model, seed=seed)
+        fact, failure_report = retry.run(_factor, params)
 
     x_probe = np.ones(A.shape[0])
     t_mv = parallel_matvec(A, d, x_probe, model=model).modeled_time
@@ -97,4 +130,7 @@ def parallel_solve(
         solve_time=solve_time,
         matvec_time=t_mv,
         precond_time=t_pc,
+        failure_report=failure_report or res.failure_report,
+        fault_journal=fact.fault_journal,
+        recoveries=fact.recoveries,
     )

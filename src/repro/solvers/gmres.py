@@ -61,6 +61,9 @@ def gmres(
     b = np.asarray(b, dtype=np.float64)
     n = b.size
     M = prepare_preconditioner(M, A)
+    # a resilient preconditioner (RobustPreconditioner, retry-driven
+    # setup) carries its fallback history; surface it on the result
+    failure_report = getattr(M, "failure_report", None)
     x = np.zeros(n) if x0 is None else np.asarray(x0, dtype=np.float64).copy()
     if restart < 1:
         raise ValueError(f"restart must be >= 1, got {restart}")
@@ -68,6 +71,7 @@ def gmres(
     nmv = 0
     nprec = 0
     iters = 0
+    breakdown = False
     res_hist: list[float] = []
 
     r = b - matvec(x) if x.any() else b.copy()
@@ -86,6 +90,7 @@ def gmres(
             elapsed=time.perf_counter() - t_start,
             num_matvec=nmv,
             num_precond=nprec,
+            failure_report=failure_report,
         )
     target = tol * beta0
 
@@ -126,6 +131,10 @@ def gmres(
             H[j + 1, j] = float(np.linalg.norm(w))
             if H[j + 1, j] > 1e-300:
                 V[j + 1] = w / H[j + 1, j]
+            else:
+                # happy breakdown: the Krylov space became invariant, so
+                # the j+1-dimensional least-squares solution is exact
+                breakdown = True
             # apply previous Givens rotations to the new column
             for i in range(j):
                 h1 = cs[i] * H[i, j] + sn[i] * H[i + 1, j]
@@ -167,7 +176,10 @@ def gmres(
         z_final = M.apply(b - matvec(x))
         nprec += 1
         if float(np.linalg.norm(z_final)) > 10.0 * max(target, 1e-300):
+            # near-lucky breakdown: the Givens recursion reported zero
+            # but the true preconditioned residual disagrees
             converged = False
+            breakdown = True
     return GMRESResult(
         x=x,
         converged=converged,
@@ -177,4 +189,6 @@ def gmres(
         elapsed=time.perf_counter() - t_start,
         num_matvec=nmv,
         num_precond=nprec,
+        breakdown=breakdown,
+        failure_report=failure_report,
     )

@@ -17,6 +17,7 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from ..decomp import DomainDecomposition
+from ..faults import FaultJournal, FaultPlan
 from ..machine import CRAY_T3D, CommStats, MachineModel, Simulator
 from ..sparse import CSRMatrix
 
@@ -35,6 +36,7 @@ class MatvecResult:
     comm: CommStats | None
     flops: float
     trace: AccessTracer | None = None
+    fault_journal: FaultJournal | None = None
 
 
 def parallel_matvec(
@@ -47,6 +49,7 @@ def parallel_matvec(
     halo_plan: dict[tuple[int, int], np.ndarray] | None = None,
     trace: bool = False,
     backend: str | None = None,
+    faults: FaultPlan | None = None,
 ) -> MatvecResult:
     """Compute ``y = A @ x`` with halo exchange + local compute.
 
@@ -58,6 +61,11 @@ def parallel_matvec(
     per-rank charges and (when tracing) access declarations follow the
     reference loop — ``modeled_time``, ``comm`` and race results are
     identical, ``y`` agrees to roundoff.
+
+    ``faults`` arms a :class:`~repro.faults.FaultPlan` on the simulator
+    (requires ``simulate=True``); injected message faults surface as
+    :class:`~repro.faults.MessageLost` / :class:`~repro.faults.RankFailure`
+    and the journal is returned on the result.
     """
     x = np.asarray(x, dtype=np.float64)
     n = A.shape[0]
@@ -65,7 +73,13 @@ def parallel_matvec(
         raise ValueError(f"x has shape {x.shape}, expected ({n},)")
     if trace and not simulate:
         raise ValueError("trace=True requires simulate=True")
-    sim = Simulator(decomp.nranks, model, trace=trace) if simulate else None
+    if faults is not None and not simulate:
+        raise ValueError("faults= requires simulate=True")
+    sim = (
+        Simulator(decomp.nranks, model, trace=trace, faults=faults)
+        if simulate
+        else None
+    )
     tr = sim.tracer if sim is not None else None
     if halo_plan is None:
         halo_plan = decomp.halo_plan()
@@ -126,4 +140,5 @@ def parallel_matvec(
         comm=sim.stats() if sim is not None else None,
         flops=flops_total,
         trace=tr,
+        fault_journal=sim.fault_journal if sim is not None else None,
     )

@@ -24,6 +24,7 @@ import numpy as np
 
 from ..ilu.factors import ILUFactors
 from ..ilu.params import ILUTParams
+from ..resilience import PivotPolicy, ZeroDiagonalError, assert_finite
 from ..sparse import CSRMatrix
 
 __all__ = [
@@ -31,6 +32,7 @@ __all__ = [
     "IdentityPreconditioner",
     "DiagonalPreconditioner",
     "ILUPreconditioner",
+    "ILU0Preconditioner",
     "prepare_preconditioner",
 ]
 
@@ -77,7 +79,13 @@ class DiagonalPreconditioner(Preconditioner):
             return self
         d = A.diagonal()
         if np.any(d == 0.0):
-            raise ValueError("diagonal preconditioner requires a zero-free diagonal")
+            row = int(np.flatnonzero(d == 0.0)[0])
+            raise ZeroDiagonalError(
+                f"diagonal preconditioner requires a zero-free diagonal "
+                f"(row {row} is zero)",
+                row=row,
+                value=0.0,
+            )
         self._inv_diag = 1.0 / d
         return self
 
@@ -105,6 +113,11 @@ class ILUPreconditioner(Preconditioner):
     level-scheduled plan (:class:`~repro.ilu.apply.LevelScheduledApplier`)
     so repeated applications inside a Krylov solver are vectorised; pass
     ``fast=False`` to use the reference row-by-row solves.
+
+    With ``guard=True`` every :meth:`apply` output is checked for
+    NaN/Inf and a :class:`~repro.resilience.NonFiniteError` raised on a
+    hit — the apply-boundary detection the resilience layer (fallback
+    chains, retry policies) keys on.
     """
 
     def __init__(
@@ -113,6 +126,8 @@ class ILUPreconditioner(Preconditioner):
         *,
         params: ILUTParams | None = None,
         fast: bool = True,
+        guard: bool = False,
+        pivot_policy: PivotPolicy | None = None,
     ) -> None:
         if factors is None and params is None:
             raise TypeError("ILUPreconditioner requires factors or params")
@@ -121,6 +136,8 @@ class ILUPreconditioner(Preconditioner):
         self.factors = factors
         self.params = params
         self._fast = fast
+        self.guard = guard
+        self.pivot_policy = pivot_policy
         self._applier = None
 
     def setup(self, A: CSRMatrix) -> "ILUPreconditioner":
@@ -128,7 +145,7 @@ class ILUPreconditioner(Preconditioner):
             return self
         from ..ilu.ilut import ilut
 
-        self.factors = ilut(A, self.params)
+        self.factors = ilut(A, self.params, pivot_policy=self.pivot_policy)
         return self
 
     def apply(self, r: np.ndarray) -> np.ndarray:
@@ -139,12 +156,16 @@ class ILUPreconditioner(Preconditioner):
             )
         r = np.asarray(r, dtype=np.float64)
         if not self._fast:
-            return self.factors.solve(r)
-        if self._applier is None:
-            from ..ilu.apply import LevelScheduledApplier
+            out = self.factors.solve(r)
+        else:
+            if self._applier is None:
+                from ..ilu.apply import LevelScheduledApplier
 
-            self._applier = LevelScheduledApplier(self.factors)
-        return self._applier.apply(r)
+                self._applier = LevelScheduledApplier(self.factors)
+            out = self._applier.apply(r)
+        if self.guard:
+            assert_finite(out, where="ILUT preconditioner apply")
+        return out
 
     def flops(self) -> float:
         if self.factors is None:
@@ -152,6 +173,65 @@ class ILUPreconditioner(Preconditioner):
         n = self.factors.n
         # forward: one multiply-add per L entry; backward: the same per
         # strict-upper U entry plus one divide per row
+        return float(2 * self.factors.L.nnz + 2 * (self.factors.U.nnz - n) + n)
+
+
+class ILU0Preconditioner(Preconditioner):
+    """Zero-fill ILU(0) as a preconditioner (the paper's static-pattern
+    baseline, and the mid-strength tier of the resilience fallback
+    chain: cheaper and more breakdown-resistant than ILUT on the
+    original pattern, stronger than Jacobi).
+
+    Construct with the matrix or defer to :meth:`setup`; ``guard=True``
+    adds the NaN/Inf apply-boundary check.  ``diag_guard=False`` lets a
+    zero pivot surface as a typed
+    :class:`~repro.resilience.ZeroPivotError` instead of being patched —
+    the right setting inside a fallback chain, where the next tier
+    should take over.
+    """
+
+    def __init__(
+        self,
+        A: CSRMatrix | None = None,
+        *,
+        guard: bool = False,
+        diag_guard: bool = True,
+    ) -> None:
+        self.factors: ILUFactors | None = None
+        self.guard = guard
+        self.diag_guard = diag_guard
+        self._applier = None
+        if A is not None:
+            self.setup(A)
+
+    def setup(self, A: CSRMatrix) -> "ILU0Preconditioner":
+        if self.factors is not None:
+            return self
+        from ..ilu.ilu0 import ilu0
+
+        self.factors = ilu0(A, diag_guard=self.diag_guard)
+        return self
+
+    def apply(self, r: np.ndarray) -> np.ndarray:
+        if self.factors is None:
+            raise RuntimeError(
+                "ILU0Preconditioner not set up; pass A to the constructor "
+                "or call setup(A)"
+            )
+        r = np.asarray(r, dtype=np.float64)
+        if self._applier is None:
+            from ..ilu.apply import LevelScheduledApplier
+
+            self._applier = LevelScheduledApplier(self.factors)
+        out = self._applier.apply(r)
+        if self.guard:
+            assert_finite(out, where="ILU(0) preconditioner apply")
+        return out
+
+    def flops(self) -> float:
+        if self.factors is None:
+            return 0.0
+        n = self.factors.n
         return float(2 * self.factors.L.nnz + 2 * (self.factors.U.nnz - n) + n)
 
 

@@ -10,8 +10,12 @@ subclass only adds its method-specific counters.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
+
+if TYPE_CHECKING:
+    from ..resilience import FailureReport
 
 __all__ = [
     "SolveResult",
@@ -41,6 +45,10 @@ class SolveResult:
         *preconditioned* norm where the method iterates on it).
     elapsed:
         Wall-clock seconds spent inside the solver.
+    failure_report:
+        The :class:`~repro.resilience.FailureReport` of the
+        preconditioner's fallback/retry history when one was attached
+        (``None`` means nothing broke down — or nothing was tracked).
     """
 
     x: np.ndarray
@@ -49,6 +57,7 @@ class SolveResult:
     final_residual: float
     residual_norms: list[float] = field(default_factory=list)
     elapsed: float = 0.0
+    failure_report: FailureReport | None = None
 
     @property
     def residual_history(self) -> list[float]:
@@ -58,10 +67,19 @@ class SolveResult:
 
 @dataclass
 class GMRESResult(SolveResult):
-    """Restarted-GMRES outcome; adds the paper's NMV counter."""
+    """Restarted-GMRES outcome; adds the paper's NMV counter.
+
+    ``breakdown`` flags a (near-)lucky breakdown of the Arnoldi process:
+    either ``H[j+1, j]`` collapsed below the representable floor (happy
+    breakdown — the Krylov space became invariant) or the exit
+    verification demoted a converged flag because the recursive residual
+    disagreed with the true one (near-lucky breakdown on an
+    inconsistent/singular preconditioned system).
+    """
 
     num_matvec: int = 0
     num_precond: int = 0
+    breakdown: bool = False
 
 
 @dataclass

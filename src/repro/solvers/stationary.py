@@ -12,6 +12,7 @@ import time
 
 import numpy as np
 
+from ..resilience import ZeroPivotError
 from ..sparse import CSRMatrix
 from .preconditioners import Preconditioner
 from .result import StationaryResult
@@ -50,7 +51,10 @@ def jacobi(
     b, x = _prepare(A, b, x0)
     d = A.diagonal()
     if np.any(d == 0.0):
-        raise ZeroDivisionError("Jacobi requires a zero-free diagonal")
+        row = int(np.flatnonzero(d == 0.0)[0])
+        raise ZeroPivotError(
+            f"Jacobi requires a zero-free diagonal (row {row} is zero)", row=row, value=0.0
+        )
     inv_d = damping / d
     r = b - A @ x
     r0 = float(np.linalg.norm(r)) or 1.0
@@ -92,7 +96,10 @@ def sor(
     b, x = _prepare(A, b, x0)
     d = A.diagonal()
     if np.any(d == 0.0):
-        raise ZeroDivisionError("SOR requires a zero-free diagonal")
+        row = int(np.flatnonzero(d == 0.0)[0])
+        raise ZeroPivotError(
+            f"SOR requires a zero-free diagonal (row {row} is zero)", row=row, value=0.0
+        )
     n = A.shape[0]
     r = b - A @ x
     r0 = float(np.linalg.norm(r)) or 1.0
@@ -155,7 +162,12 @@ class SweepPreconditioner(Preconditioner):
         self.damping = damping
         self._diag = A.diagonal()
         if np.any(self._diag == 0.0):
-            raise ZeroDivisionError("sweep preconditioner needs a zero-free diagonal")
+            row = int(np.flatnonzero(self._diag == 0.0)[0])
+            raise ZeroPivotError(
+                f"sweep preconditioner needs a zero-free diagonal (row {row} is zero)",
+                row=row,
+                value=0.0,
+            )
 
     def apply(self, r: np.ndarray) -> np.ndarray:
         r = np.asarray(r, dtype=np.float64)

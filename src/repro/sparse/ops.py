@@ -8,6 +8,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..resilience import ZeroPivotError
 from .csr import CSRMatrix
 
 __all__ = [
@@ -55,7 +56,7 @@ def upper_solve(U: CSRMatrix, b: np.ndarray) -> np.ndarray:
         if cols.size == 0 or cols[0] != i:
             raise ValueError(f"U has no stored diagonal at row {i}")
         if vals[0] == 0.0:
-            raise ZeroDivisionError(f"zero pivot in U at row {i}")
+            raise ZeroPivotError(f"zero pivot in U at row {i}", row=i, value=0.0)
         if cols.size > 1:
             x[i] -= np.dot(vals[1:], x[cols[1:]])
         x[i] /= vals[0]
@@ -74,7 +75,7 @@ def lower_solve(L: CSRMatrix, b: np.ndarray) -> np.ndarray:
         if cols.size == 0 or cols[-1] != i:
             raise ValueError(f"L has no stored diagonal at row {i}")
         if vals[-1] == 0.0:
-            raise ZeroDivisionError(f"zero pivot in L at row {i}")
+            raise ZeroPivotError(f"zero pivot in L at row {i}", row=i, value=0.0)
         if cols.size > 1:
             x[i] -= np.dot(vals[:-1], x[cols[:-1]])
         x[i] /= vals[-1]

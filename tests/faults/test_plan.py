@@ -1,0 +1,144 @@
+"""Unit tests for fault plans, runtimes and the journal."""
+
+import numpy as np
+import pytest
+
+from repro.faults import (
+    FaultJournal,
+    FaultPlan,
+    MessageFault,
+    RankFailure,
+    RankFault,
+)
+
+
+class TestValidation:
+    def test_unknown_message_action(self):
+        with pytest.raises(ValueError, match="unknown message fault action"):
+            MessageFault("explode")
+
+    def test_delay_needs_positive_delay(self):
+        with pytest.raises(ValueError, match="delay > 0"):
+            MessageFault("delay")
+
+    def test_bad_corruption_mode(self):
+        with pytest.raises(ValueError, match="unknown corruption"):
+            MessageFault("corrupt", corruption="gamma-ray")
+
+    def test_unknown_rank_action(self):
+        with pytest.raises(ValueError, match="unknown rank fault action"):
+            RankFault("sulk", rank=0)
+
+    def test_stall_needs_positive_stall(self):
+        with pytest.raises(ValueError, match="stall > 0"):
+            RankFault("stall", rank=0)
+
+    def test_plan_coerces_lists_to_tuples(self):
+        plan = FaultPlan(
+            message_faults=[MessageFault("drop")],
+            rank_faults=[RankFault("crash", rank=1)],
+        )
+        assert isinstance(plan.message_faults, tuple)
+        assert isinstance(plan.rank_faults, tuple)
+        assert "1 message fault(s)" in plan.describe()
+
+
+class TestMatching:
+    def test_wildcards_match_everything(self):
+        f = MessageFault("drop")
+        assert f.matches(0, 1, "halo")
+        assert f.matches(5, 3, ("urow", 2))
+
+    def test_endpoint_filters(self):
+        f = MessageFault("drop", src=1, dst=2)
+        assert f.matches(1, 2, None)
+        assert not f.matches(2, 1, None)
+
+    def test_string_tag_matches_tuple_head(self):
+        f = MessageFault("drop", tag="urow")
+        assert f.matches(0, 1, "urow")
+        assert f.matches(0, 1, ("urow", 7))
+        assert not f.matches(0, 1, ("mis", 7))
+
+
+class TestRuntimeWindows:
+    def test_skip_and_count_window(self):
+        plan = FaultPlan(message_faults=[MessageFault("drop", skip=1, count=2)])
+        rt = plan.runtime()
+        effects = [rt.on_send(0, 1, "t", None, superstep=0) for _ in range(4)]
+        # message 0 passes (skip), 1 and 2 dropped (count=2), 3 passes
+        assert [e.deliver for e in effects] == [True, False, False, True]
+        assert rt.journal.counts() == {"drop": 2}
+
+    def test_first_match_wins(self):
+        plan = FaultPlan(
+            message_faults=[
+                MessageFault("drop", tag="a"),
+                MessageFault("duplicate", tag="a", count=5),
+            ]
+        )
+        rt = plan.runtime()
+        e = rt.on_send(0, 1, "a", None, superstep=0)
+        assert not e.deliver and e.copies == 1
+
+    def test_crash_is_one_shot(self):
+        plan = FaultPlan(rank_faults=[RankFault("crash", rank=2, superstep=1)])
+        rt = plan.runtime()
+        assert rt.on_rank_activity(2, 0) == 0.0  # before its superstep
+        with pytest.raises(RankFailure, match="rank 2 crashed"):
+            rt.on_rank_activity(2, 1)
+        # disarmed: the restarted rank keeps working
+        assert rt.on_rank_activity(2, 5) == 0.0
+
+    def test_stall_returns_seconds_once(self):
+        plan = FaultPlan(rank_faults=[RankFault("stall", rank=0, stall=2.5)])
+        rt = plan.runtime()
+        assert rt.on_rank_activity(0, 0) == 2.5
+        assert rt.on_rank_activity(0, 1) == 0.0
+
+
+class TestCorruption:
+    def _one(self, mode, payload, seed=0):
+        plan = FaultPlan(
+            message_faults=[MessageFault("corrupt", corruption=mode)], seed=seed
+        )
+        return plan.runtime().on_send(0, 1, "t", payload, superstep=0).payload
+
+    def test_nan_and_inf_hit_one_entry(self):
+        x = np.ones(8)
+        out = self._one("nan", x)
+        assert np.isnan(out).sum() == 1 and np.isnan(x).sum() == 0
+        out = self._one("inf", x)
+        assert np.isinf(out).sum() == 1
+
+    def test_bitflip_changes_exactly_one_entry(self):
+        x = np.linspace(1.0, 2.0, 6)
+        out = self._one("bitflip", x)
+        assert (out != x).sum() == 1
+
+    def test_same_seed_same_corruption(self):
+        x = np.arange(32, dtype=np.float64)
+        a = self._one("bitflip", x, seed=7)
+        b = self._one("bitflip", x, seed=7)
+        assert np.array_equal(a, b, equal_nan=True)
+
+    def test_opaque_payload_left_intact(self):
+        sentinel = object()
+        plan = FaultPlan(message_faults=[MessageFault("corrupt")])
+        rt = plan.runtime()
+        assert rt.on_send(0, 1, "t", sentinel, superstep=0).payload is sentinel
+        (event,) = rt.journal.events
+        assert "left intact" in event.detail
+
+
+class TestJournal:
+    def test_signature_and_summary(self):
+        j = FaultJournal()
+        assert j.summary() == "fault journal: empty"
+        j.record("drop", superstep=3, src=0, dst=1, tag=("urow", 2))
+        j.record("crash", superstep=4, rank=2)
+        assert len(j) == 2
+        assert j.counts() == {"drop": 1, "crash": 1}
+        sig = j.signature()
+        assert sig == FaultJournal(events=list(j.events)).signature()
+        assert "2 event(s)" in j.summary()

@@ -1,0 +1,125 @@
+"""Fault injection at the simulator layer: delivery effects, rank
+faults, snapshot/restore bookkeeping."""
+
+import numpy as np
+import pytest
+
+from repro.faults import (
+    FaultPlan,
+    MessageFault,
+    MessageLost,
+    RankFailure,
+    RankFault,
+)
+from repro.machine import CRAY_T3D, IDEAL, Simulator
+
+
+def make_sim(plan, nranks=2, model=CRAY_T3D):
+    return Simulator(nranks, model, faults=plan)
+
+
+class TestMessageFaults:
+    def test_drop_raises_message_lost(self):
+        sim = make_sim(FaultPlan(message_faults=[MessageFault("drop")]))
+        sim.send(0, 1, {"v": 1}, 4.0, tag="data")
+        with pytest.raises(MessageLost, match="was lost"):
+            sim.recv(1, 0, tag="data")
+        assert sim.fault_journal.counts() == {"drop": 1, "lost": 1}
+
+    def test_drop_still_charges_the_sender(self):
+        healthy = Simulator(2, CRAY_T3D)
+        healthy.send(0, 1, None, 4.0, tag="data")
+        sim = make_sim(FaultPlan(message_faults=[MessageFault("drop")]))
+        sim.send(0, 1, None, 4.0, tag="data")
+        assert sim.stats().messages == healthy.stats().messages
+        assert sim.stats().words_sent == healthy.stats().words_sent
+
+    def test_delay_pushes_arrival_back(self):
+        base = Simulator(2, CRAY_T3D)
+        base.send(0, 1, "x", 1.0, tag="t")
+        base.recv(1, 0, tag="t")
+        sim = make_sim(
+            FaultPlan(message_faults=[MessageFault("delay", delay=5.0)])
+        )
+        sim.send(0, 1, "x", 1.0, tag="t")
+        sim.recv(1, 0, tag="t")
+        assert sim.elapsed() == pytest.approx(base.elapsed() + 5.0)
+
+    def test_duplicate_enqueues_second_copy(self):
+        sim = make_sim(FaultPlan(message_faults=[MessageFault("duplicate")]))
+        sim.send(0, 1, "payload", 2.0, tag="t")
+        assert sim.recv(1, 0, tag="t") == "payload"
+        assert sim.recv(1, 0, tag="t") == "payload"  # the stale copy
+        assert sim.fault_journal.counts() == {"duplicate": 1}
+
+    def test_corrupt_delivers_poisoned_array(self):
+        sim = make_sim(FaultPlan(message_faults=[MessageFault("corrupt")]))
+        sim.send(0, 1, np.ones(5), 5.0, tag="t")
+        out = sim.recv(1, 0, tag="t")
+        assert np.isnan(out).sum() == 1
+
+    def test_unmatched_tag_is_unaffected(self):
+        sim = make_sim(FaultPlan(message_faults=[MessageFault("drop", tag="other")]))
+        sim.send(0, 1, 42, 1.0, tag="t")
+        assert sim.recv(1, 0, tag="t") == 42
+
+
+class TestRankFaults:
+    def test_crash_fires_on_compute(self):
+        sim = make_sim(FaultPlan(rank_faults=[RankFault("crash", rank=1)]))
+        sim.compute(0, 10.0)  # other ranks unaffected
+        with pytest.raises(RankFailure):
+            sim.compute(1, 10.0)
+
+    def test_crash_waits_for_its_superstep(self):
+        sim = make_sim(
+            FaultPlan(rank_faults=[RankFault("crash", rank=0, superstep=2)]), nranks=2
+        )
+        sim.barrier()
+        sim.barrier()
+        assert sim.superstep == 2
+        with pytest.raises(RankFailure):
+            sim.barrier()
+
+    def test_stall_advances_only_that_clock(self):
+        sim = make_sim(
+            FaultPlan(rank_faults=[RankFault("stall", rank=1, stall=3.0)]),
+            model=IDEAL,
+        )
+        sim.compute(0, 5.0)
+        sim.compute(1, 5.0)
+        t0, t1 = sim.clock[0], sim.clock[1]
+        assert t1 == pytest.approx(t0 + 3.0)
+        assert sim.fault_journal.counts() == {"stall": 1}
+
+
+class TestSnapshotRestore:
+    def test_restore_rewinds_clocks_and_mail(self):
+        sim = Simulator(2, CRAY_T3D)
+        sim.compute(0, 100.0)
+        snap = sim.snapshot()
+        t = sim.elapsed()
+        sim.compute(0, 500.0)
+        sim.send(0, 1, "late", 1.0, tag="t")
+        sim.restore(snap)
+        assert sim.elapsed() == t
+        assert sim.pending_messages() == 0
+
+    def test_restore_is_journaled_under_faults(self):
+        sim = make_sim(FaultPlan(rank_faults=[RankFault("crash", rank=0)]))
+        snap = sim.snapshot()
+        with pytest.raises(RankFailure):
+            sim.compute(0, 1.0)
+        sim.restore(snap, reason="crash recovery")
+        counts = sim.fault_journal.counts()
+        assert counts == {"crash": 1, "restore": 1}
+
+    def test_one_snapshot_survives_two_restores(self):
+        sim = Simulator(2, CRAY_T3D)
+        sim.send(0, 1, "keep", 1.0, tag="t")
+        snap = sim.snapshot()
+        assert sim.recv(1, 0, tag="t") == "keep"
+        sim.restore(snap)
+        assert sim.recv(1, 0, tag="t") == "keep"
+        sim.restore(snap)
+        assert sim.recv(1, 0, tag="t") == "keep"

@@ -95,3 +95,33 @@ class TestCheckCommand:
         out = capsys.readouterr().out
         assert "RACE:" in out and "interface-row" in out
         assert "check FAILED: 1 race(s), 0 violation(s)" in out
+
+
+class TestFaultInjectModes:
+    """``--inject`` fault modes must *recover* (exit 0), unlike the
+    structural modes which must be *reported* (exit 1)."""
+
+    def test_message_drop_recovers(self, capsys):
+        assert main(["check", "g0:12", "--inject", "message-drop"]) == 0
+        out = capsys.readouterr().out
+        assert "drop=1" in out and "retransmit=1" in out
+        assert "bit-identical" in out
+        assert "fault check OK" in out
+
+    def test_rank_crash_recovers(self, capsys):
+        assert main(["check", "g0:12", "--inject", "rank-crash"]) == 0
+        out = capsys.readouterr().out
+        assert "crashed rank" in out
+        assert "1 checkpoint restart(s)" in out
+        assert "bit-identical" in out
+
+    def test_rank_crash_star_variant(self, capsys):
+        assert main(["check", "g0:12", "-k", "2", "--inject", "rank-crash"]) == 0
+        assert "fault check OK" in capsys.readouterr().out
+
+    def test_nan_corrupt_detected_and_solved_around(self, capsys):
+        assert main(["check", "g0:12", "--inject", "nan-corrupt"]) == 0
+        out = capsys.readouterr().out
+        assert "NonFiniteError" in out
+        assert "converged" in out
+        assert "fault check OK: corruption detected" in out
