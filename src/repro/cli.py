@@ -7,6 +7,9 @@ Commands
 ``factor``    parallel ILUT/ILUT* factorization summary
 ``solve``     end-to-end preconditioned GMRES solve report
 ``generate``  write a generator matrix to a MatrixMarket file
+``lint``      static SPMD-communication / determinism / backend-parity
+              analysis (see :mod:`repro.lint`); ``--format sarif`` and a
+              checked-in baseline make it a CI gate
 ``check``     replay a factorization under the race detector and run the
               structural invariant checkers (``--inject`` seeds a defect
               to prove the checkers catch it).  The structural modes
@@ -128,6 +131,30 @@ def _cmd_solve(args: argparse.Namespace) -> int:
 _FAULT_MODES = ("message-drop", "rank-crash", "nan-corrupt")
 
 
+def _check_report_stub(args: argparse.Namespace, *, mode: str) -> dict:
+    """Common header of the ``check --json`` document."""
+    return {
+        "command": "check",
+        "mode": mode,
+        "matrix": args.matrix,
+        "procs": args.procs,
+        "params": {"m": args.m, "t": args.t, "k": args.k},
+        "inject": args.inject,
+        "seed": args.seed,
+    }
+
+
+def _finish_check(doc: dict, emit_json: bool) -> int:
+    """Stamp the exit code into the document, emit it, return the code."""
+    code = 0 if doc.get("ok") else 1
+    doc["exit"] = code
+    if emit_json:
+        import json
+
+        print(json.dumps(doc, indent=2))
+    return code
+
+
 def _factors_identical(fa, fb) -> bool:
     """Bit-identical L/U (values, structure) and permutation."""
     return all(
@@ -161,6 +188,13 @@ def _cmd_check_fault(args: argparse.Namespace) -> int:
         gmres,
     )
 
+    emit_json = getattr(args, "json", False)
+    doc = _check_report_stub(args, mode="fault")
+
+    def say(msg: str) -> None:
+        if not emit_json:
+            print(msg)
+
     A = load_matrix(args.matrix)
     params = ILUTParams(fill=args.m, threshold=args.t, k=args.k)
     factor = parallel_ilut if args.k is None else parallel_ilut_star
@@ -169,24 +203,34 @@ def _cmd_check_fault(args: argparse.Namespace) -> int:
     if args.inject in ("message-drop", "rank-crash"):
         if args.inject == "message-drop":
             plan = FaultPlan(message_faults=[MessageFault("drop", tag="urow")])
-            print("injected: dropped one interface-row exchange message")
+            say("injected: dropped one interface-row exchange message")
         else:
             rank = max(1, args.procs // 2)
             plan = FaultPlan(rank_faults=[RankFault("crash", rank=rank, superstep=3)])
-            print(f"injected: crashed rank {rank} at superstep 3")
+            say(f"injected: crashed rank {rank} at superstep 3")
         res = factor(A, params, args.procs, seed=args.seed, faults=plan)
         journal = res.fault_journal
-        print(journal.summary())
-        print(f"recoveries:    {res.recoveries} checkpoint restart(s)")
+        say(journal.summary())
+        say(f"recoveries:    {res.recoveries} checkpoint restart(s)")
         injected = bool(journal is not None and len(journal.events))
         identical = _factors_identical(res.factors, baseline.factors)
-        print(f"factors vs uninjected run: {'bit-identical' if identical else 'DIVERGED'}")
-        if injected and identical:
-            print("fault check OK: injection recovered")
-            return 0
-        print("fault check FAILED: "
-              + ("no fault fired" if not injected else "factors diverged"))
-        return 1
+        say(f"factors vs uninjected run: {'bit-identical' if identical else 'DIVERGED'}")
+        ok = injected and identical
+        doc.update(
+            {
+                "injected": injected,
+                "recoveries": res.recoveries,
+                "journal_events": len(journal.events) if journal is not None else 0,
+                "factors_bit_identical": identical,
+                "ok": ok,
+            }
+        )
+        if ok:
+            say("fault check OK: injection recovered")
+        else:
+            say("fault check FAILED: "
+                + ("no fault fired" if not injected else "factors diverged"))
+        return _finish_check(doc, emit_json)
 
     # nan-corrupt: the engine exchanges accounting-only payloads, so a
     # corrupted *message* cannot reach the numerics — instead poison the
@@ -195,7 +239,7 @@ def _cmd_check_fault(args: argparse.Namespace) -> int:
     factors = baseline.factors
     pos = int(factors.U.indptr[factors.n // 2])
     factors.U.data[pos] = float("nan")
-    print(f"injected: NaN into U at row {factors.n // 2}")
+    say(f"injected: NaN into U at row {factors.n // 2}")
     M = RobustPreconditioner(
         [
             ILUPreconditioner(factors),
@@ -210,16 +254,27 @@ def _cmd_check_fault(args: argparse.Namespace) -> int:
         rec.error_type == "NonFiniteError" for rec in report.records
     )
     finite = bool(np.all(np.isfinite(res_solve.x)))
-    print(f"fallback:      active = {M.active_name}")
-    print(f"report:        {report.summary() if report is not None else 'none'}")
-    print(f"solve:         {'converged' if res_solve.converged else 'NOT converged'}, "
-          f"x finite = {finite}")
-    if detected and res_solve.converged and finite:
-        print("fault check OK: corruption detected and solved around")
-        return 0
-    print("fault check FAILED: "
-          + ("corruption not detected" if not detected else "solve did not recover"))
-    return 1
+    say(f"fallback:      active = {M.active_name}")
+    say(f"report:        {report.summary() if report is not None else 'none'}")
+    say(f"solve:         {'converged' if res_solve.converged else 'NOT converged'}, "
+        f"x finite = {finite}")
+    ok = detected and res_solve.converged and finite
+    doc.update(
+        {
+            "injected": True,
+            "detected": detected,
+            "active_preconditioner": M.active_name,
+            "converged": bool(res_solve.converged),
+            "x_finite": finite,
+            "ok": ok,
+        }
+    )
+    if ok:
+        say("fault check OK: corruption detected and solved around")
+    else:
+        say("fault check FAILED: "
+            + ("corruption not detected" if not detected else "solve did not recover"))
+    return _finish_check(doc, emit_json)
 
 
 def _cmd_check(args: argparse.Namespace) -> int:
@@ -241,6 +296,13 @@ def _cmd_check(args: argparse.Namespace) -> int:
     if args.inject in _FAULT_MODES:
         return _cmd_check_fault(args)
 
+    emit_json = getattr(args, "json", False)
+    doc = _check_report_stub(args, mode="structural")
+
+    def say(msg: str) -> None:
+        if not emit_json:
+            print(msg)
+
     A = load_matrix(args.matrix)
     problems: list[str] = []
     races = []
@@ -256,7 +318,7 @@ def _cmd_check(args: argparse.Namespace) -> int:
         res = parallel_ilut_star(A, params, args.procs, seed=args.seed, trace=True)
         label = f"ILUT*({args.m},{args.t:g},{args.k})"
     races += find_races(res.trace)
-    print(f"race detector: {label} on p={args.procs}: {res.trace}")
+    say(f"race detector: {label} on p={args.procs}: {res.trace}")
 
     b = A @ np.ones(A.shape[0])
     ts = parallel_triangular_solve(res.factors, b, trace=True)
@@ -276,14 +338,14 @@ def _cmd_check(args: argparse.Namespace) -> int:
     if args.inject == "zero-diag":
         row = factors.n // 2
         factors.U.data[factors.U.indptr[row]] = 0.0
-        print(f"injected: zeroed U diagonal of row {row}")
+        say(f"injected: zeroed U diagonal of row {row}")
     elif args.inject == "unsorted-row":
         U = factors.U
         for i in range(factors.n):
             s, e = int(U.indptr[i]), int(U.indptr[i + 1])
             if e - s >= 3:  # swap two *tail* columns, keeping diag first
                 U.indices[s + 1], U.indices[s + 2] = U.indices[s + 2], U.indices[s + 1]
-                print(f"injected: swapped columns in U row {i}")
+                say(f"injected: swapped columns in U row {i}")
                 break
 
     # 3. structural invariants
@@ -296,17 +358,26 @@ def _cmd_check(args: argparse.Namespace) -> int:
         sim = Simulator(max(2, args.procs), CRAY_T3D, trace=True)
         racy_toy_driver(sim)
         races += find_races(sim.tracer)
-        print("injected: unsynchronised two-rank interface-row write")
+        say("injected: unsynchronised two-rank interface-row write")
 
     for r in races:
-        print(f"RACE: {r.describe()}")
+        say(f"RACE: {r.describe()}")
     for p in problems:
-        print(f"INVARIANT: {p}")
-    if races or problems:
-        print(f"check FAILED: {len(races)} race(s), {len(problems)} violation(s)")
-        return 1
-    print(f"check OK: 0 races, 0 invariant violations (q={res.num_levels} levels)")
-    return 0
+        say(f"INVARIANT: {p}")
+    ok = not races and not problems
+    doc.update(
+        {
+            "races": [r.describe() for r in races],
+            "invariant_violations": list(problems),
+            "levels": res.num_levels,
+            "ok": ok,
+        }
+    )
+    if ok:
+        say(f"check OK: 0 races, 0 invariant violations (q={res.num_levels} levels)")
+    else:
+        say(f"check FAILED: {len(races)} race(s), {len(problems)} violation(s)")
+    return _finish_check(doc, emit_json)
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
@@ -382,12 +453,21 @@ def build_parser() -> argparse.ArgumentParser:
         "it (exit 1); fault modes verify the resilience layer recovers "
         "from it (exit 0)",
     )
+    p_check.add_argument(
+        "--json",
+        action="store_true",
+        help="emit one JSON document on stdout instead of the text report",
+    )
     p_check.set_defaults(func=_cmd_check)
 
     p_gen = sub.add_parser("generate", help="write a generator matrix to .mtx")
     add_matrix(p_gen)
     p_gen.add_argument("output", help="output MatrixMarket path")
     p_gen.set_defaults(func=_cmd_generate)
+
+    from .lint.cli import add_lint_parser
+
+    add_lint_parser(sub)
 
     return parser
 

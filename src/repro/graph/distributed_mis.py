@@ -65,7 +65,7 @@ def mis_comm_setup(
         for r in range(sim.nranks):
             sim.compute(r, float(per_rank[r]))
         sim.barrier()
-    return {key: int(vs.size) for key, vs in sets.items()}
+    return {key: int(vs.size) for key, vs in sorted(sets.items())}
 
 
 def distributed_two_step_luby_mis(
@@ -105,16 +105,16 @@ def distributed_two_step_luby_mis(
                 sim.compute(r, float(per_rank_edges[r]))
             if tr is not None:
                 # each owner updates its boundary flags before shipping them
-                for (src, _dst), verts in bsets.items():
+                for (src, _dst), verts in sorted(bsets.items()):
                     for v in verts:
                         tr.write(src, "mis-flag", int(v))
-            for (src, dst), count in pattern.items():
+            for (src, dst), count in sorted(pattern.items()):
                 sim.send(src, dst, None, float(count), tag=("mis", rnd, step))
-            for (src, dst), _count in pattern.items():
+            for (src, dst), _count in sorted(pattern.items()):
                 sim.recv(dst, src, tag=("mis", rnd, step))
             if tr is not None:
                 # receivers consume the shipped flags of their ghosts
-                for (_src, dst), verts in bsets.items():
+                for (_src, dst), verts in sorted(bsets.items()):
                     for v in verts:
                         tr.read(dst, "mis-flag", int(v))
             sim.barrier()

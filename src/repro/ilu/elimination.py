@@ -540,7 +540,7 @@ class EliminationEngine:
         iset_mask = np.zeros(self.n, dtype=bool)
         iset_mask[iset] = True
         need: dict[tuple[int, int], set[int]] = {}
-        for i, (cols, _vals) in self.reduced.items():
+        for i, (cols, _vals) in sorted(self.reduced.items()):
             r = int(part[i])
             for k in cols[iset_mask[cols]]:
                 s = int(part[k])
@@ -549,7 +549,7 @@ class EliminationEngine:
         pair_words: dict[tuple[int, int], float] = {}
         for (src, dst), rows_needed in sorted(need.items()):
             words = sum(
-                self.u_rows[k][0].size * 2.0 for k in rows_needed
+                self.u_rows[k][0].size * 2.0 for k in sorted(rows_needed)
             )  # indices + values
             pair_words[(src, dst)] = words
             self.sim.send(src, dst, None, words, tag=("urow", level))

@@ -216,14 +216,14 @@ class InterfacePartitionEngine(EliminationEngine):
         # share the same aggregated messages)
         if self.sim is not None:
             need: dict[tuple[int, int], set[int]] = {}
-            for i, (cols, _v) in self.reduced.items():
+            for i, (cols, _v) in sorted(self.reduced.items()):
                 r = int(part[i])
                 for k in cols[fmask[cols]]:
                     s = int(part[k])
                     if s != r:
                         need.setdefault((s, r), set()).add(int(k))
             for (src, dst), rows_needed in sorted(need.items()):
-                words = sum(self.u_rows[k][0].size * 2.0 for k in rows_needed)
+                words = sum(self.u_rows[k][0].size * 2.0 for k in sorted(rows_needed))
                 self.sim.send(src, dst, None, words, tag="ipart")
                 self.u_rows_comm += len(rows_needed)
             for (src, dst), _rows in sorted(need.items()):

@@ -22,7 +22,7 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
-from ..resilience import ZeroPivotError
+from ..resilience import ZeroDiagonalError, ZeroPivotError
 from .csr import segment_sums
 
 if TYPE_CHECKING:
@@ -116,7 +116,9 @@ class BatchedTriangularSchedule:
             have = np.bincount(rows_all[on], minlength=n)
             missing = np.flatnonzero(have == 0)
             if missing.size:
-                raise ValueError(f"missing diagonal at row {missing[0]}")
+                raise ZeroDiagonalError(
+                    f"missing diagonal at row {missing[0]}", row=int(missing[0])
+                )
             diag = np.zeros(n, dtype=np.float64)
             diag[rows_all[on]] = M.data[on]
             if np.any(diag == 0.0):

@@ -1,0 +1,43 @@
+"""``repro.lint`` — static SPMD / determinism / parity analyzer.
+
+The simulator-driven algorithms in this library obey disciplines that
+runtime checks (the race detector, the fault journal, the kernel parity
+suite) only exercise on the inputs a given run happens to execute.  This
+package checks the same disciplines *statically*, on every code path:
+
+* **SPMD communication** (``SPMD00x``) — per-module communication
+  summaries of ``send``/``recv``/collective call sites; unmatched
+  send/recv tags, collectives reachable under rank-dependent control
+  flow, and recv loops whose bounds differ from the matching send loops.
+* **Determinism** (``DET00x``) — unseeded RNG, iteration over unordered
+  containers in communication-bearing functions, float ``==``
+  comparisons, order-sensitive reductions over unordered containers.
+* **Backend parity** (``PAR00x``) — every public ``repro.kernels``
+  symbol needs a parity test under ``tests/kernels`` and a documented
+  reference twin; simulator flop charges must be integral expressions.
+* **Breakdown typing** (``BRK001``) — numeric raise sites must use the
+  typed :mod:`repro.resilience` hierarchy, not bare builtins.
+
+Run it as ``python -m repro lint [paths...]``; see
+:mod:`repro.lint.cli` for formats (text/json/SARIF) and the baseline
+workflow that freezes pre-existing findings.
+"""
+
+from .baseline import Baseline, fingerprint_findings
+from .findings import Finding, Severity
+from .registry import Rule, all_rules, get_rule, register
+from .runner import LintConfig, ProjectContext, run_lint
+
+__all__ = [
+    "Finding",
+    "Severity",
+    "Rule",
+    "register",
+    "all_rules",
+    "get_rule",
+    "LintConfig",
+    "ProjectContext",
+    "run_lint",
+    "Baseline",
+    "fingerprint_findings",
+]

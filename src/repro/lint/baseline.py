@@ -1,0 +1,103 @@
+"""Checked-in baseline: freeze pre-existing findings, gate new ones.
+
+A baseline entry is a fingerprint of ``(rule, path, snippet,
+occurrence)`` — deliberately *not* the line number, so unrelated edits
+that shift code up or down don't invalidate the baseline.  The
+``occurrence`` index disambiguates identical lines in one file (the
+first ``x == 0.5`` in a file is occurrence 0, the second is 1, ...).
+
+Workflow::
+
+    python -m repro lint src/repro --write-baseline   # freeze today
+    python -m repro lint src/repro                    # 0 new findings
+    # ... someone adds a float == ... -> exit 1, only the new finding
+
+Shrink the file over time by fixing frozen findings and re-writing;
+never hand-edit fingerprints in.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .findings import Finding
+
+__all__ = ["Baseline", "fingerprint", "fingerprint_findings"]
+
+_FORMAT_VERSION = 1
+
+
+def fingerprint(finding: Finding) -> str:
+    """Line-number-independent identity of a finding."""
+    payload = "\x1f".join(
+        [finding.rule, finding.path, finding.snippet, str(finding.occurrence)]
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:20]
+
+
+def fingerprint_findings(findings: list[Finding]) -> list[Finding]:
+    """Assign occurrence indexes to identical (rule, path, snippet) triples."""
+    seen: Counter[tuple[str, str, str]] = Counter()
+    out = []
+    for f in findings:
+        key = (f.rule, f.path, f.snippet)
+        out.append(f.with_occurrence(seen[key]))
+        seen[key] += 1
+    return out
+
+
+@dataclass
+class Baseline:
+    """The set of frozen fingerprints plus display metadata."""
+
+    entries: dict[str, dict] = field(default_factory=dict)
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        data = json.loads(path.read_text(encoding="utf-8"))
+        if data.get("version") != _FORMAT_VERSION:
+            raise ValueError(
+                f"baseline {path} has version {data.get('version')!r}, "
+                f"expected {_FORMAT_VERSION}"
+            )
+        return cls(entries={e["fingerprint"]: e for e in data.get("findings", [])})
+
+    @classmethod
+    def from_findings(cls, findings: list[Finding]) -> "Baseline":
+        findings = fingerprint_findings(findings)
+        return cls(
+            entries={
+                fingerprint(f): {
+                    "fingerprint": fingerprint(f),
+                    "rule": f.rule,
+                    "path": f.path,
+                    "snippet": f.snippet,
+                    "occurrence": f.occurrence,
+                    "message": f.message,
+                }
+                for f in findings
+            }
+        )
+
+    def save(self, path: Path) -> None:
+        doc = {
+            "version": _FORMAT_VERSION,
+            "comment": (
+                "Frozen pre-existing `repro lint` findings. Regenerate with "
+                "`python -m repro lint src/repro --write-baseline`; shrink it "
+                "by fixing findings, never by hand-editing fingerprints in."
+            ),
+            "findings": [self.entries[k] for k in sorted(self.entries)],
+        }
+        path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n", "utf-8")
+
+    def split(self, findings: list[Finding]) -> tuple[list[Finding], list[Finding]]:
+        """Partition into (new, frozen) against this baseline."""
+        findings = fingerprint_findings(findings)
+        new = [f for f in findings if fingerprint(f) not in self.entries]
+        frozen = [f for f in findings if fingerprint(f) in self.entries]
+        return new, frozen

@@ -1,0 +1,172 @@
+"""The ``python -m repro lint`` command.
+
+Exit status: 0 when no *new* (non-baselined) findings, 1 otherwise —
+the CI contract.  ``--write-baseline`` freezes the current findings and
+always exits 0.
+"""
+
+from __future__ import annotations
+
+import argparse
+import subprocess
+import sys
+from pathlib import Path
+
+from .baseline import Baseline
+from .output import render_json, render_sarif, render_text
+from .registry import all_rules
+from .runner import LintConfig, find_project_root, run_lint
+
+__all__ = ["add_lint_parser", "cmd_lint"]
+
+DEFAULT_BASELINE = "lint-baseline.json"
+
+
+def add_lint_parser(sub: "argparse._SubParsersAction") -> argparse.ArgumentParser:
+    p = sub.add_parser(
+        "lint",
+        help="static SPMD/determinism/backend-parity analysis",
+        description=(
+            "AST-based static analysis: SPMD communication discipline, "
+            "determinism hazards, kernel backend parity, breakdown typing. "
+            "Exit 1 on findings not frozen in the baseline."
+        ),
+    )
+    p.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to lint (default: src/repro)",
+    )
+    p.add_argument(
+        "--format",
+        choices=("text", "json", "sarif"),
+        default="text",
+        help="output format (default: text)",
+    )
+    p.add_argument(
+        "-o", "--output", default=None, help="write the report to a file instead of stdout"
+    )
+    p.add_argument(
+        "--baseline",
+        default=None,
+        help=f"baseline file (default: <project root>/{DEFAULT_BASELINE} when present)",
+    )
+    p.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline file (report every finding)",
+    )
+    p.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="freeze the current findings into the baseline file and exit 0",
+    )
+    p.add_argument(
+        "--changed-only",
+        action="store_true",
+        help="lint only files modified per `git status` (pre-commit mode)",
+    )
+    p.add_argument("--select", default="", help="comma-separated rule ids to run")
+    p.add_argument("--ignore", default="", help="comma-separated rule ids to skip")
+    p.add_argument(
+        "--show-baselined",
+        action="store_true",
+        help="also print findings frozen in the baseline (text format)",
+    )
+    p.add_argument(
+        "--list-rules", action="store_true", help="print the rule registry and exit"
+    )
+    p.set_defaults(func=cmd_lint)
+    return p
+
+
+def _git_changed_files(root: Path) -> list[Path] | None:
+    """Modified/added/untracked .py files per git, or None if git fails."""
+    try:
+        proc = subprocess.run(
+            ["git", "-C", str(root), "status", "--porcelain"],
+            capture_output=True,
+            text=True,
+            timeout=30,
+            check=True,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    out: list[Path] = []
+    for line in proc.stdout.splitlines():
+        if len(line) < 4 or line[0] == "D" or line[1] == "D":
+            continue
+        name = line[3:].split(" -> ")[-1].strip().strip('"')
+        if name.endswith(".py"):
+            p = root / name
+            if p.exists():
+                out.append(p)
+    return out
+
+
+def _restrict_to_changed(paths: list[Path], root: Path) -> list[Path]:
+    changed = _git_changed_files(root)
+    if changed is None:
+        return paths  # not a git checkout: lint everything requested
+    requested = [p.resolve() for p in paths]
+    picked = []
+    for c in changed:
+        rc = c.resolve()
+        for req in requested:
+            if rc == req or req in rc.parents:
+                picked.append(c)
+                break
+    return picked
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    config = LintConfig(
+        select=tuple(s for s in args.select.split(",") if s),
+        ignore=tuple(s for s in args.ignore.split(",") if s),
+    )
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.id}  {rule.severity:<7}  {rule.name}: {rule.description}")
+        return 0
+
+    paths = [Path(p) for p in args.paths]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        print(f"repro lint: no such path: {missing[0]}", file=sys.stderr)
+        return 2
+    root = find_project_root(paths[0])
+    config.project_root = root
+
+    if args.changed_only:
+        paths = _restrict_to_changed(paths, root)
+        if not paths:
+            print("0 finding(s)")
+            return 0
+
+    findings = run_lint(paths, config)
+
+    baseline_path = Path(args.baseline) if args.baseline else root / DEFAULT_BASELINE
+    if args.write_baseline:
+        Baseline.from_findings(findings).save(baseline_path)
+        print(f"froze {len(findings)} finding(s) into {baseline_path}")
+        return 0
+
+    baseline = Baseline()
+    if not args.no_baseline and baseline_path.exists():
+        baseline = Baseline.load(baseline_path)
+    new, frozen = baseline.split(findings)
+
+    if args.format == "json":
+        report = render_json(new, frozen)
+    elif args.format == "sarif":
+        report = render_sarif(new, frozen, all_rules())
+    else:
+        report = render_text(new, frozen, verbose_frozen=args.show_baselined)
+
+    if args.output:
+        Path(args.output).write_text(report + "\n", encoding="utf-8")
+        print(f"wrote {args.format} report to {args.output} ({len(new)} new finding(s))")
+    else:
+        print(report)
+    return 1 if new else 0

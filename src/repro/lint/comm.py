@@ -1,0 +1,181 @@
+"""Static SPMD communication summaries.
+
+The drivers talk to :class:`repro.machine.Simulator` through a small
+vocabulary — ``send``/``recv`` (plus ``*recv*``-named retry helpers),
+``exchange``, and the collectives ``barrier``/``allreduce``/
+``allgather``.  This module extracts every such call site from a parsed
+module together with
+
+* its **tag pattern** — constants kept, variable parts widened to a
+  wildcard, so ``tag=("fwd", lvl_idx)`` becomes ``("fwd", *)`` and can
+  be matched against the receiving side, and
+* its **enclosing control flow** — nearest loop and the chain of
+  branch conditions — so rules can reason about loop-bound mismatches
+  and rank-dependent reachability.
+
+This is a *summary*, not a proof: dynamic tags (a bare variable) are
+treated as opaque and exempt from matching, which keeps the analysis
+sound-for-alarms (no false tag-mismatch reports) at the cost of not
+checking fully dynamic protocols.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+
+from .astutil import ancestors, call_name, enclosing_function, nearest_loop
+
+__all__ = [
+    "WILDCARD",
+    "CommSite",
+    "comm_sites",
+    "tags_match",
+    "render_tag",
+    "SEND_NAMES",
+    "RECV_NAMES",
+    "COLLECTIVE_NAMES",
+]
+
+#: Matches anything during tag unification.
+WILDCARD = "*"
+
+SEND_NAMES = ("send",)
+RECV_NAMES = ("recv",)
+COLLECTIVE_NAMES = ("barrier", "allreduce", "allgather")
+
+#: Argument index of ``tag`` when passed positionally, per call kind.
+_TAG_POSITION = {"send": 4, "recv": 2, "recv_helper": 2, "exchange": 1}
+
+
+@dataclass
+class CommSite:
+    """One communication call site."""
+
+    kind: str  # "send" | "recv" | "collective" | "exchange"
+    call: ast.Call
+    #: Normalised tag: a tuple of constants/WILDCARD, or None when the
+    #: whole tag is dynamic (exempt from matching), for send/recv kinds.
+    tag: tuple[object, ...] | None
+    func: ast.FunctionDef | ast.AsyncFunctionDef | None
+    loop: ast.For | ast.While | None
+
+    @property
+    def line(self) -> int:
+        return self.call.lineno
+
+    @property
+    def col(self) -> int:
+        return self.call.col_offset
+
+
+def _classify(call: ast.Call) -> str | None:
+    """Map a call to a comm kind, or None for non-communication."""
+    name = call_name(call)
+    if not name:
+        return None
+    if name in SEND_NAMES:
+        return "send"
+    if name in RECV_NAMES:
+        return "recv"
+    if name in COLLECTIVE_NAMES:
+        return "collective"
+    if name == "exchange":
+        return "exchange"
+    # retry/wrapper helpers: _recv_retry, recv_with_timeout, ...
+    if "recv" in name:
+        return "recv_helper"
+    return None
+
+
+def _normalise_tag(node: ast.AST) -> tuple[object, ...] | None:
+    """Constant-fold a tag expression into a matchable pattern.
+
+    ``None`` means "fully dynamic" — the site neither satisfies nor
+    requires a match.  Constants become 1-tuples so ``tag="halo"`` and a
+    hypothetical ``tag=("halo",)`` stay distinct from each other but
+    both concrete.
+    """
+    if isinstance(node, ast.Constant):
+        return (node.value,)
+    if isinstance(node, ast.Tuple):
+        out: list[object] = []
+        for elt in node.elts:
+            if isinstance(elt, ast.Constant):
+                out.append(elt.value)
+            else:
+                out.append(WILDCARD)
+        return tuple(out)
+    return None
+
+
+def _tag_node(call: ast.Call, kind: str) -> ast.AST | None:
+    for kw in call.keywords:
+        if kw.arg == "tag":
+            return kw.value
+    pos = _TAG_POSITION.get(kind)
+    if pos is not None and len(call.args) > pos:
+        return call.args[pos]
+    return None
+
+
+def comm_sites(tree: ast.Module) -> list[CommSite]:
+    """Every communication call site in the module, in source order."""
+    sites: list[CommSite] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        kind = _classify(node)
+        if kind is None:
+            continue
+        tag: tuple[object, ...] | None = None
+        if kind in ("send", "recv", "recv_helper", "exchange"):
+            tag_node = _tag_node(node, kind)
+            if kind == "recv_helper" and tag_node is None:
+                # a recv-ish call that takes no tag at all (e.g. a tracer
+                # callback) is not communication — don't record it
+                continue
+            # an absent tag is the concrete default (None,): untagged
+            # sends must pair with untagged recvs
+            tag = (None,) if tag_node is None else _normalise_tag(tag_node)
+        sites.append(
+            CommSite(
+                kind={"recv_helper": "recv"}.get(kind, kind),
+                call=node,
+                tag=tag,
+                func=enclosing_function(node),
+                loop=nearest_loop(node),
+            )
+        )
+    return sites
+
+
+def tags_match(a: tuple[object, ...], b: tuple[object, ...]) -> bool:
+    """Unify two concrete tag patterns (wildcards match anything)."""
+    if len(a) != len(b):
+        return False
+    for x, y in zip(a, b):
+        if x is WILDCARD or y is WILDCARD:
+            continue
+        if x != y or type(x) is not type(y):
+            return False
+    return True
+
+
+def render_tag(tag: tuple[object, ...]) -> str:
+    parts = ", ".join("*" if t is WILDCARD else repr(t) for t in tag)
+    return f"({parts})" if len(tag) != 1 else parts
+
+
+def branch_conditions(site: CommSite) -> list[ast.expr]:
+    """The ``if``/``while`` tests controlling reachability of ``site``,
+    innermost first, stopping at the function boundary."""
+    out: list[ast.expr] = []
+    for anc in ancestors(site.call):
+        if isinstance(anc, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            break
+        if isinstance(anc, (ast.If, ast.While)):
+            out.append(anc.test)
+        elif isinstance(anc, ast.IfExp):
+            out.append(anc.test)
+    return out

@@ -1,0 +1,135 @@
+"""Finding renderers: human text, machine JSON, and SARIF 2.1.0.
+
+SARIF is the interchange format CI code-scanning UIs ingest; the
+emitter targets the 2.1.0 schema (``version``, ``$schema``, one run
+with a ``tool.driver`` carrying the rule metadata, one ``result`` per
+finding with a physical location and a stable fingerprint).
+"""
+
+from __future__ import annotations
+
+import json
+
+from .baseline import fingerprint, fingerprint_findings
+from .findings import Finding
+from .registry import Rule
+
+__all__ = ["render_text", "render_json", "render_sarif", "SARIF_SCHEMA_URI"]
+
+SARIF_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+_SARIF_LEVEL = {"error": "error", "warning": "warning", "note": "note"}
+
+
+def render_text(
+    new: list[Finding], frozen: list[Finding], *, verbose_frozen: bool = False
+) -> str:
+    lines = [f.render() for f in new]
+    if verbose_frozen:
+        lines += [f"{f.render()}  [baseline]" for f in frozen]
+    counts = f"{len(new)} finding(s)"
+    if frozen:
+        counts += f", {len(frozen)} baselined"
+    lines.append(counts)
+    return "\n".join(lines)
+
+
+def render_json(new: list[Finding], frozen: list[Finding]) -> str:
+    def encode(f: Finding, is_new: bool) -> dict:
+        return {
+            "rule": f.rule,
+            "severity": str(f.severity),
+            "path": f.path,
+            "line": f.line,
+            "column": f.col + 1,
+            "message": f.message,
+            "snippet": f.snippet,
+            "fingerprint": fingerprint(f),
+            "baselined": not is_new,
+        }
+
+    doc = {
+        "tool": "repro-lint",
+        "findings": [encode(f, True) for f in fingerprint_findings(new)]
+        + [encode(f, False) for f in fingerprint_findings(frozen)],
+        "new": len(new),
+        "baselined": len(frozen),
+    }
+    return json.dumps(doc, indent=2)
+
+
+def render_sarif(
+    new: list[Finding],
+    frozen: list[Finding],
+    rules: list[Rule],
+    *,
+    tool_version: str = "1.0.0",
+) -> str:
+    rule_order = [r.id for r in rules]
+    rule_index = {rid: i for i, rid in enumerate(rule_order)}
+
+    def result(f: Finding, suppressed: bool) -> dict:
+        res: dict = {
+            "ruleId": f.rule,
+            "level": _SARIF_LEVEL.get(str(f.severity), "warning"),
+            "message": {"text": f.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": f.path,
+                            "uriBaseId": "PROJECTROOT",
+                        },
+                        "region": {
+                            "startLine": f.line,
+                            "startColumn": f.col + 1,
+                            **(
+                                {"snippet": {"text": f.snippet}} if f.snippet else {}
+                            ),
+                        },
+                    }
+                }
+            ],
+            "partialFingerprints": {"reproLint/v1": fingerprint(f)},
+        }
+        if f.rule in rule_index:
+            res["ruleIndex"] = rule_index[f.rule]
+        if suppressed:
+            res["suppressions"] = [
+                {"kind": "external", "justification": "frozen in lint-baseline.json"}
+            ]
+        return res
+
+    doc = {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "informationUri": "https://example.invalid/repro-lint",
+                        "version": tool_version,
+                        "rules": [
+                            {
+                                "id": r.id,
+                                "name": r.name,
+                                "shortDescription": {"text": r.description},
+                                "defaultConfiguration": {
+                                    "level": _SARIF_LEVEL.get(
+                                        str(r.severity), "warning"
+                                    )
+                                },
+                            }
+                            for r in rules
+                        ],
+                    }
+                },
+                "results": [result(f, False) for f in fingerprint_findings(new)]
+                + [result(f, True) for f in fingerprint_findings(frozen)],
+            }
+        ],
+    }
+    return json.dumps(doc, indent=2)

@@ -1,0 +1,3 @@
+"""Built-in rule families — importing this package registers them all."""
+
+from . import breakdown, determinism, parity, spmd  # noqa: F401

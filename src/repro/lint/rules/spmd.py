@@ -1,0 +1,205 @@
+"""SPMD communication rules (``SPMD001``–``SPMD003``).
+
+The phase-2 level loop of the parallel ILUT drivers, the triangular
+solves and the distributed MIS all follow one discipline: every send is
+paired with a recv of the same tag, collectives are reached by every
+rank unconditionally, and the loop posting the sends runs over exactly
+the pairs the receive loop drains.  These rules check that discipline on
+the static communication summary (:mod:`repro.lint.comm`) of each
+module.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..astutil import ancestors, names_in
+from ..comm import CommSite, branch_conditions, comm_sites, render_tag, tags_match
+from ..findings import Finding, Severity
+from ..registry import Rule, register
+from ..runner import ModuleContext
+
+__all__ = ["UnmatchedTag", "RankDependentCollective", "LoopBoundMismatch"]
+
+#: Identifiers that denote a rank in this codebase's driver idiom.
+RANK_NAMES = frozenset({"rank", "src", "dst", "r", "rk", "pe", "proc", "me", "myrank"})
+#: Attribute/name fragments that mark an iterable as "over the ranks".
+RANK_RANGE_MARKERS = ("nranks", "nprocs", "num_ranks", "world_size")
+
+
+def _concrete_pairs(sites: list[CommSite]) -> tuple[list[CommSite], list[CommSite]]:
+    sends = [s for s in sites if s.kind == "send" and s.tag is not None]
+    recvs = [s for s in sites if s.kind == "recv" and s.tag is not None]
+    return sends, recvs
+
+
+def _has_dynamic(sites: list[CommSite], kind: str) -> bool:
+    return any(s.kind == kind and s.tag is None for s in sites)
+
+
+@register
+class UnmatchedTag(Rule):
+    """A send (recv) whose tag no recv (send) in the module can match.
+
+    Tags are matched after widening variable components to wildcards, so
+    ``tag=("fwd", lvl_idx)`` pairs with ``tag=("fwd", other_var)``.
+    Sites whose *entire* tag is dynamic are exempt — and, because such a
+    site could match anything, their presence suppresses the
+    opposite-direction check rather than silently satisfying it.
+    """
+
+    id = "SPMD001"
+    name = "unmatched-tag"
+    severity = Severity.ERROR
+    description = (
+        "point-to-point send/recv tags must pair up within the module "
+        "(a one-sided tag is a static deadlock or message leak)"
+    )
+
+    def check_module(self, module: ModuleContext) -> list[Finding]:
+        sites = comm_sites(module.tree)
+        sends, recvs = _concrete_pairs(sites)
+        out: list[Finding] = []
+        if not _has_dynamic(sites, "recv"):
+            for s in sends:
+                assert s.tag is not None
+                if not any(tags_match(s.tag, r.tag) for r in recvs if r.tag is not None):
+                    out.append(
+                        self.finding(
+                            module,
+                            s.line,
+                            s.col,
+                            f"send with tag {render_tag(s.tag)} has no matching "
+                            "recv in this module (undrained message)",
+                        )
+                    )
+        if not _has_dynamic(sites, "send"):
+            for r in recvs:
+                assert r.tag is not None
+                if not any(tags_match(r.tag, s.tag) for s in sends if s.tag is not None):
+                    out.append(
+                        self.finding(
+                            module,
+                            r.line,
+                            r.col,
+                            f"recv with tag {render_tag(r.tag)} has no matching "
+                            "send in this module (static deadlock)",
+                        )
+                    )
+        return out
+
+
+def _is_rank_dependent_test(test: ast.expr) -> bool:
+    return bool(names_in(test) & RANK_NAMES)
+
+
+def _is_rank_loop(loop: ast.For | ast.While | None) -> bool:
+    if not isinstance(loop, ast.For):
+        return False
+    if names_in(loop.target) & RANK_NAMES:
+        return True
+    rendered = ast.dump(loop.iter)
+    return any(marker in rendered for marker in RANK_RANGE_MARKERS)
+
+
+@register
+class RankDependentCollective(Rule):
+    """A collective reachable only under rank-dependent control flow.
+
+    ``barrier``/``allreduce``/``allgather`` synchronise *every* rank; a
+    call guarded by ``if rank == 0`` (or issued once per iteration of a
+    per-rank loop) means some ranks arrive a different number of times —
+    the classic SPMD collective-divergence deadlock.
+    """
+
+    id = "SPMD002"
+    name = "rank-dependent-collective"
+    severity = Severity.ERROR
+    description = (
+        "collectives must be reachable by all ranks: no enclosing "
+        "rank-dependent branch and no per-rank loop"
+    )
+
+    def check_module(self, module: ModuleContext) -> list[Finding]:
+        out: list[Finding] = []
+        for site in comm_sites(module.tree):
+            if site.kind != "collective":
+                continue
+            for test in branch_conditions(site):
+                if _is_rank_dependent_test(test):
+                    out.append(
+                        self.finding(
+                            module,
+                            site.line,
+                            site.col,
+                            "collective under a rank-dependent branch "
+                            f"(condition at line {test.lineno}): ranks may "
+                            "disagree on reaching it",
+                        )
+                    )
+                    break
+            else:
+                for anc in ancestors(site.call):
+                    if isinstance(anc, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        break
+                    if isinstance(anc, (ast.For, ast.While)) and _is_rank_loop(anc):
+                        out.append(
+                            self.finding(
+                                module,
+                                site.line,
+                                site.col,
+                                "collective inside a per-rank loop (line "
+                                f"{anc.lineno}): it would fire once per rank, "
+                                "not once per superstep",
+                            )
+                        )
+                        break
+        return out
+
+
+@register
+class LoopBoundMismatch(Rule):
+    """Matched send/recv tags driven by loops over different iterables.
+
+    The drain loop must enumerate exactly the pairs the post loop
+    enumerated (the drivers share one ``sorted(...)`` expression for
+    both); differing iterables mean dropped or phantom messages on some
+    input.  Compared structurally on the nearest enclosing ``for``'s
+    iterable, so variable renames of the loop *target* don't matter.
+    """
+
+    id = "SPMD003"
+    name = "loop-bound-mismatch"
+    severity = Severity.ERROR
+    description = (
+        "a recv loop must iterate the same bounds as the loop posting "
+        "the matching sends"
+    )
+
+    def check_module(self, module: ModuleContext) -> list[Finding]:
+        sites = comm_sites(module.tree)
+        sends, recvs = _concrete_pairs(sites)
+        out: list[Finding] = []
+        for r in recvs:
+            assert r.tag is not None
+            partners = [s for s in sends if s.tag is not None and tags_match(r.tag, s.tag)]
+            if not partners:
+                continue  # SPMD001's territory
+            r_iter = ast.dump(r.loop.iter) if isinstance(r.loop, ast.For) else None
+            for s in partners:
+                s_iter = ast.dump(s.loop.iter) if isinstance(s.loop, ast.For) else None
+                if r_iter == s_iter:
+                    break
+            else:
+                s0 = partners[0]
+                out.append(
+                    self.finding(
+                        module,
+                        r.line,
+                        r.col,
+                        f"recv loop bounds differ from the matching send's "
+                        f"(tag {render_tag(r.tag)}; send at line {s0.line}): "
+                        "the drain must enumerate exactly the posted pairs",
+                    )
+                )
+        return out

@@ -1,0 +1,112 @@
+"""File collection, parsing, and rule execution."""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .astutil import attach_parents
+from .findings import Finding, sort_findings
+from .registry import Rule, all_rules
+
+__all__ = ["LintConfig", "ModuleContext", "ProjectContext", "run_lint", "find_project_root"]
+
+
+@dataclass
+class LintConfig:
+    """Knobs for a lint run (all optional)."""
+
+    #: Restrict to these rule ids (empty = all registered).
+    select: tuple[str, ...] = ()
+    #: Drop these rule ids after selection.
+    ignore: tuple[str, ...] = ()
+    #: Project root; auto-discovered from the lint paths when None.
+    project_root: Path | None = None
+    #: Directory holding the kernels parity tests, relative to the root.
+    kernels_test_dir: str = "tests/kernels"
+
+
+@dataclass
+class ModuleContext:
+    """One parsed source file handed to ``check_module``."""
+
+    path: Path
+    relpath: str
+    tree: ast.Module
+    lines: list[str]
+
+
+@dataclass
+class ProjectContext:
+    """Everything a cross-file rule needs."""
+
+    root: Path
+    modules: list[ModuleContext]
+    config: LintConfig = field(default_factory=LintConfig)
+
+
+def find_project_root(start: Path) -> Path:
+    """Walk up from ``start`` to the nearest ``pyproject.toml``/``.git``."""
+    cur = start.resolve()
+    if cur.is_file():
+        cur = cur.parent
+    for candidate in (cur, *cur.parents):
+        if (candidate / "pyproject.toml").exists() or (candidate / ".git").exists():
+            return candidate
+    return cur
+
+
+def collect_files(paths: list[Path]) -> list[Path]:
+    """Expand directories to ``**/*.py``, de-duplicated, sorted."""
+    seen: dict[Path, None] = {}
+    for p in paths:
+        if p.is_dir():
+            for f in sorted(p.rglob("*.py")):
+                seen.setdefault(f.resolve(), None)
+        elif p.suffix == ".py":
+            seen.setdefault(p.resolve(), None)
+    return sorted(seen)
+
+
+def parse_module(path: Path, root: Path) -> ModuleContext | None:
+    """Parse one file; unreadable/unparsable files are skipped (None)."""
+    try:
+        source = path.read_text(encoding="utf-8")
+        tree = ast.parse(source, filename=str(path))
+    except (OSError, SyntaxError, ValueError):
+        return None
+    attach_parents(tree)
+    try:
+        rel = path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        rel = path.as_posix()
+    return ModuleContext(path=path, relpath=rel, tree=tree, lines=source.splitlines())
+
+
+def _active_rules(config: LintConfig) -> list[Rule]:
+    rules = all_rules()
+    if config.select:
+        rules = [r for r in rules if r.id in config.select]
+    if config.ignore:
+        rules = [r for r in rules if r.id not in config.ignore]
+    return rules
+
+
+def run_lint(paths: list[Path | str], config: LintConfig | None = None) -> list[Finding]:
+    """Lint ``paths`` (files or directories) and return sorted findings."""
+    config = config or LintConfig()
+    path_objs = [Path(p) for p in paths]
+    root = config.project_root or (
+        find_project_root(path_objs[0]) if path_objs else Path.cwd()
+    )
+    modules = [
+        m for f in collect_files(path_objs) if (m := parse_module(f, root)) is not None
+    ]
+    project = ProjectContext(root=root, modules=modules, config=config)
+    findings: list[Finding] = []
+    for rule in _active_rules(config):
+        for module in modules:
+            findings.extend(rule.check_module(module))
+        findings.extend(rule.check_project(project))
+    return sort_findings(findings)

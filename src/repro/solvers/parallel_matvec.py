@@ -90,9 +90,9 @@ def parallel_matvec(
             for j in decomp.owned_rows(r):
                 tr.write(r, "x", int(j))
     if sim is not None:
-        for (src, dst), nodes in halo_plan.items():
+        for (src, dst), nodes in sorted(halo_plan.items()):
             sim.send(src, dst, None, float(nodes.size), tag="halo")
-        for (src, dst), _nodes in halo_plan.items():
+        for (src, dst), _nodes in sorted(halo_plan.items()):
             sim.recv(dst, src, tag="halo")
 
     from ..kernels.backend import VECTORIZED, resolve_backend

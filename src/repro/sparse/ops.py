@@ -8,7 +8,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..resilience import ZeroPivotError
+from ..resilience import ZeroDiagonalError, ZeroPivotError
 from .csr import CSRMatrix
 
 __all__ = [
@@ -54,7 +54,7 @@ def upper_solve(U: CSRMatrix, b: np.ndarray) -> np.ndarray:
     for i in range(n - 1, -1, -1):
         cols, vals = U.row(i)
         if cols.size == 0 or cols[0] != i:
-            raise ValueError(f"U has no stored diagonal at row {i}")
+            raise ZeroDiagonalError(f"U has no stored diagonal at row {i}", row=i)
         if vals[0] == 0.0:
             raise ZeroPivotError(f"zero pivot in U at row {i}", row=i, value=0.0)
         if cols.size > 1:
@@ -73,7 +73,7 @@ def lower_solve(L: CSRMatrix, b: np.ndarray) -> np.ndarray:
     for i in range(n):
         cols, vals = L.row(i)
         if cols.size == 0 or cols[-1] != i:
-            raise ValueError(f"L has no stored diagonal at row {i}")
+            raise ZeroDiagonalError(f"L has no stored diagonal at row {i}", row=i)
         if vals[-1] == 0.0:
             raise ZeroPivotError(f"zero pivot in L at row {i}", row=i, value=0.0)
         if cols.size > 1:

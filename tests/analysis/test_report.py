@@ -1,0 +1,66 @@
+"""Focused coverage for repro.analysis.report rendering helpers."""
+
+from repro.analysis import format_series, format_table
+from repro.analysis.report import _is_numeric, factorization_label
+
+
+class TestFactorizationLabel:
+    def test_ilut(self):
+        assert factorization_label("ILUT", 5, 1e-2) == "ILUT(5,1e-02)"
+
+    def test_ilut_star(self):
+        assert factorization_label("ILUT*", 5, 1e-2, 2) == "ILUT*(5,1e-02,2)"
+
+
+class TestFormatTable:
+    def test_custom_floatfmt(self):
+        s = format_table(["v"], [[1.23456]], floatfmt="{:.1f}")
+        assert "1.2" in s and "1.2345" not in s
+
+    def test_non_float_cells_use_str(self):
+        s = format_table(["a", "b"], [[7, "x"]])
+        assert "7" in s and "x" in s
+
+    def test_numeric_right_aligned_text_left_aligned(self):
+        s = format_table(["name", "val"], [["long-label", 1.0]])
+        body = s.splitlines()[-1]
+        assert body.startswith("long-label")
+        assert body.endswith("1.0000")
+
+    def test_title_underlined_to_separator_width(self):
+        s = format_table(["col"], [[1.0]], title="Table 9")
+        lines = s.splitlines()
+        assert lines[0] == "Table 9"
+        assert set(lines[1]) == {"="}
+        sep = [ln for ln in lines if set(ln) <= {"-", "+"} and ln][0]
+        assert len(lines[1]) == len(sep)
+
+    def test_empty_rows(self):
+        s = format_table(["a"], [])
+        assert s.splitlines()[0].strip() == "a"
+
+
+class TestFormatSeries:
+    def test_default_format(self):
+        assert format_series("s", [16], [1.25]) == "s: 16→1.250"
+
+    def test_custom_yfmt(self):
+        assert format_series("s", [1, 2], [0.5, 0.25], yfmt="{:.1e}") == (
+            "s: 1→5.0e-01 2→2.5e-01"
+        )
+
+    def test_empty_series(self):
+        assert format_series("s", [], []) == "s: "
+
+
+class TestIsNumeric:
+    def test_plain_numbers(self):
+        assert _is_numeric("1.5") and _is_numeric("-3")
+
+    def test_series_glyphs_stripped(self):
+        assert _is_numeric("16→1.250")
+        assert _is_numeric("2.00x")
+
+    def test_text(self):
+        assert not _is_numeric("ILUT(5,1e-02)")
+        assert not _is_numeric("")

@@ -1,0 +1,109 @@
+"""Parity of VectorizedRowAccumulator with repro.sparse.SparseRowAccumulator.
+
+Drives both accumulators through the same randomized load / axpy / set /
+drop / extract / reset script and requires bit-identical observable
+state after every operation.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernels import VectorizedRowAccumulator
+from repro.sparse import SparseRowAccumulator
+
+
+def _same_state(ref, vec):
+    rc, rv = ref.extract(sort=True)
+    vc, vv = vec.extract(sort=True)
+    assert np.array_equal(rc, vc)
+    assert np.array_equal(rv, vv)
+    assert len(ref) == len(vec)
+
+
+@st.composite
+def scripts(draw, n=12, max_ops=12):
+    """A list of accumulator operations over columns in [0, n)."""
+    ops = []
+    nops = draw(st.integers(1, max_ops))
+    for _ in range(nops):
+        kind = draw(st.sampled_from(["axpy", "set", "drop", "reset"]))
+        if kind == "axpy":
+            cols = draw(
+                st.lists(st.integers(0, n - 1), unique=True, min_size=1, max_size=n)
+            )
+            vals = draw(
+                st.lists(
+                    st.floats(-8, 8, allow_nan=False, allow_infinity=False),
+                    min_size=len(cols),
+                    max_size=len(cols),
+                )
+            )
+            alpha = draw(st.floats(-4, 4, allow_nan=False, allow_infinity=False))
+            ops.append(("axpy", alpha, cols, vals))
+        elif kind == "set":
+            ops.append(("set", draw(st.integers(0, n - 1)),
+                        draw(st.floats(-8, 8, allow_nan=False, allow_infinity=False))))
+        elif kind == "drop":
+            ops.append(("drop", draw(st.integers(0, n - 1))))
+        else:
+            ops.append(("reset",))
+    return n, ops
+
+
+class TestAccumulatorParity:
+    @settings(max_examples=150, deadline=None)
+    @given(scripts())
+    def test_script_parity(self, script):
+        n, ops = script
+        ref = SparseRowAccumulator(n)
+        vec = VectorizedRowAccumulator(n)
+        for op in ops:
+            if op[0] == "axpy":
+                _, alpha, cols, vals = op
+                c = np.array(cols, dtype=np.int64)
+                v = np.array(vals, dtype=np.float64)
+                ref.axpy(alpha, c, v)
+                vec.axpy(alpha, c, v)
+            elif op[0] == "set":
+                ref.set(op[1], op[2])
+                vec.set(op[1], op[2])
+            elif op[0] == "drop":
+                # drop() only touches positions already in the pattern
+                if op[1] in ref:
+                    ref.drop(op[1])
+                    vec.drop(op[1])
+            else:
+                ref.reset()
+                vec.reset()
+            _same_state(ref, vec)
+
+    def test_load_then_extract_range(self):
+        cols = np.array([7, 2, 4], dtype=np.int64)
+        vals = np.array([1.0, -2.0, 0.5])
+        ref = SparseRowAccumulator(10)
+        vec = VectorizedRowAccumulator(10)
+        ref.load(cols, vals)
+        vec.load(cols, vals)
+        for lo, hi in ((0, 10), (2, 5), (5, 5), (8, 10)):
+            rc, rv = ref.extract_range(lo, hi)
+            vc, vv = vec.extract_range(lo, hi)
+            assert np.array_equal(rc, vc)
+            assert np.array_equal(rv, vv)
+
+    def test_load_on_nonempty_raises(self):
+        vec = VectorizedRowAccumulator(4)
+        vec.set(1, 2.0)
+        with pytest.raises(RuntimeError):
+            vec.load(np.array([0], dtype=np.int64), np.array([1.0]))
+
+    def test_contains_and_get(self):
+        ref = SparseRowAccumulator(6)
+        vec = VectorizedRowAccumulator(6)
+        for acc in (ref, vec):
+            acc.set(3, 1.5)
+            acc.set(5, 0.0)
+        for col in range(6):
+            assert (col in ref) == (col in vec)
+            assert ref.get(col) == vec.get(col)

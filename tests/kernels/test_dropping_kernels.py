@@ -1,0 +1,95 @@
+"""Parity of the vectorized dropping kernels with repro.ilu.dropping.
+
+The vectorized selection must be *bit-exact* against the reference —
+same lexicographic ``(-|v|, col)`` order, same tie-break toward the
+lower column index — so every comparison here is ``array_equal``, not
+``allclose``.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ilu.dropping import keep_largest, second_rule
+from repro.kernels import keep_largest_vec, second_rule_vec
+from repro.kernels.dropping import keep_largest_sorted
+
+
+@st.composite
+def sparse_rows(draw, max_n=24):
+    """A row: unique columns in [0, n) with finite values, plus n."""
+    n = draw(st.integers(min_value=1, max_value=max_n))
+    cols = draw(
+        st.lists(st.integers(0, n - 1), unique=True, min_size=0, max_size=n)
+    )
+    vals = draw(
+        st.lists(
+            st.floats(-10, 10, allow_nan=False, allow_infinity=False),
+            min_size=len(cols),
+            max_size=len(cols),
+        )
+    )
+    return n, np.array(cols, dtype=np.int64), np.array(vals, dtype=np.float64)
+
+
+class TestKeepLargestVec:
+    @settings(max_examples=200, deadline=None)
+    @given(sparse_rows(), st.integers(-1, 8))
+    def test_bit_exact_vs_reference(self, row, m):
+        _n, cols, vals = row
+        rc, rv = keep_largest(cols, vals, m)
+        vc, vv = keep_largest_vec(cols, vals, m)
+        assert np.array_equal(rc, vc)
+        assert np.array_equal(rv, vv)
+
+    def test_tie_break_toward_lower_column(self):
+        cols = np.array([5, 1, 3], dtype=np.int64)
+        vals = np.array([2.0, -2.0, 2.0])
+        vc, vv = keep_largest_vec(cols, vals, 2)
+        assert np.array_equal(vc, [1, 3])
+        assert np.array_equal(vv, [-2.0, 2.0])
+
+    def test_empty_and_nonpositive_m(self):
+        cols = np.array([0, 1], dtype=np.int64)
+        vals = np.array([1.0, 2.0])
+        for c, v in (keep_largest_vec(cols, vals, 0), keep_largest_vec(cols[:0], vals[:0], 3)):
+            assert c.size == 0 and v.size == 0
+
+
+class TestKeepLargestSorted:
+    @settings(max_examples=200, deadline=None)
+    @given(sparse_rows(), st.integers(-1, 8))
+    def test_matches_vec_on_sorted_input(self, row, m):
+        _n, cols, vals = row
+        order = np.argsort(cols, kind="stable")
+        cols, vals = cols[order], vals[order]
+        rc, rv = keep_largest_vec(cols, vals, m)
+        sc, sv = keep_largest_sorted(cols, vals, m)
+        assert np.array_equal(rc, sc)
+        assert np.array_equal(rv, sv)
+
+
+class TestSecondRuleVec:
+    @settings(max_examples=200, deadline=None)
+    @given(
+        sparse_rows(),
+        st.integers(0, 23),
+        st.floats(0, 3, allow_nan=False),
+        st.integers(0, 6),
+    )
+    def test_bit_exact_vs_reference(self, row, i, tau, m):
+        n, cols, vals = row
+        i = i % n
+        (rlc, rlv), rd, (ruc, ruv) = second_rule(cols, vals, i, tau, m)
+        (vlc, vlv), vd, (vuc, vuv) = second_rule_vec(cols, vals, i, tau, m)
+        assert rd == vd
+        assert np.array_equal(rlc, vlc) and np.array_equal(rlv, vlv)
+        assert np.array_equal(ruc, vuc) and np.array_equal(ruv, vuv)
+
+    def test_diagonal_always_survives(self):
+        cols = np.array([0, 1, 2], dtype=np.int64)
+        vals = np.array([1e-12, 5.0, -4.0])
+        (lc, _lv), diag, (uc, _uv) = second_rule_vec(cols, vals, 0, 1.0, 2)
+        assert diag == 1e-12
+        assert lc.size == 0
+        assert np.array_equal(uc, [1, 2])

@@ -1,0 +1,11 @@
+"""BRK001 bad twin: numeric breakdowns raised as bare builtins."""
+
+
+def pivot(d, i):
+    if d == 0.0:
+        raise ZeroDivisionError(f"zero pivot at row {i}")
+
+
+def diag(cols, i):
+    if not cols:
+        raise ValueError(f"missing diagonal at row {i}")

@@ -1,0 +1,13 @@
+"""BRK001 clean twin: typed breakdowns, plain argument validation."""
+
+from repro.resilience import ZeroPivotError
+
+
+def pivot(d, i):
+    if d == 0.0:
+        raise ZeroPivotError(f"zero pivot at row {i}", row=i, value=0.0)
+
+
+def check_args(m):
+    if m < 0:
+        raise ValueError("m must be non-negative")  # validation, not numeric

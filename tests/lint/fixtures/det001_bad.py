@@ -1,0 +1,14 @@
+"""DET001 bad twin: unseeded / module-level randomness."""
+
+import random
+
+import numpy as np
+
+
+def jitter(x):
+    rng = np.random.default_rng()
+    return x + np.random.rand(x.size) + rng.standard_normal(x.size)
+
+
+def pick(items):
+    return random.choice(items)

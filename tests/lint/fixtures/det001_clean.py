@@ -1,0 +1,12 @@
+"""DET001 clean twin: every RNG is an explicitly seeded Generator."""
+
+import numpy as np
+
+
+def jitter(x, seed=0):
+    rng = np.random.default_rng(seed)
+    return x + rng.standard_normal(x.size)
+
+
+def pick(items, rng):
+    return items[int(rng.integers(len(items)))]

@@ -1,0 +1,9 @@
+"""DET003 bad twin: equality against nonzero float literals."""
+
+
+def classify(x, y):
+    if x == 0.5:
+        return "half"
+    if y != 2.5:
+        return "other"
+    return "match"

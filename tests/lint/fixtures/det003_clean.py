@@ -1,0 +1,11 @@
+"""DET003 clean twin: exact-zero tests and tolerance comparisons."""
+
+
+def classify(x, y, tol=1e-12):
+    if x == 0.0:  # the breakdown-detection idiom: allowed
+        return "zero"
+    if abs(y - 2.5) < tol:
+        return "match"
+    if len([x]) == 1:  # integer equality: allowed
+        return "single"
+    return "other"

@@ -1,0 +1,7 @@
+"""DET004 bad twin: float reductions over sets (hash-order sums)."""
+
+weights = {0.25, 1.5, 2.0}
+
+
+def total(scale):
+    return sum(w * scale for w in weights) + sum({1.0, 2.0})

@@ -1,0 +1,7 @@
+"""DET004 clean twin: reductions run over sorted operands."""
+
+weights = {0.25, 1.5, 2.0}
+
+
+def total(scale):
+    return sum(w * scale for w in sorted(weights)) + sum([1.0, 2.0])

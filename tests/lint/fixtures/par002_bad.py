@@ -1,0 +1,6 @@
+"""PAR002 bad twin: fractional flop charges."""
+
+
+def account(sim, rank, n):
+    sim.compute(rank, n / 2)
+    sim.compute(rank, 1.5 * n)

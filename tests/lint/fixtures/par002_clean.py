@@ -1,0 +1,7 @@
+"""PAR002 clean twin: integral flop charges (float casts allowed)."""
+
+
+def account(sim, rank, n):
+    sim.compute(rank, n // 2)
+    sim.compute(rank, float(2 * n))
+    sim.compute(rank, 2.0 * n)  # integer-valued literal: exact

@@ -1,0 +1,7 @@
+"""Vectorized widget transform."""
+
+__all__ = ["widget_vec"]
+
+
+def widget_vec(x):
+    return x * 2

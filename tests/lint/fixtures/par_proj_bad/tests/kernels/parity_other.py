@@ -1,0 +1,5 @@
+"""A parity file that never mentions the widget kernel."""
+
+
+def check_something_else():
+    return True

@@ -1,0 +1,8 @@
+"""Vectorized widget transform, bit-exact against the scalar reference
+implementation in :mod:`pkg.widget_ref`."""
+
+__all__ = ["widget_vec"]
+
+
+def widget_vec(x):
+    return x * 2

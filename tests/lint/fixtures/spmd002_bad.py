@@ -1,0 +1,11 @@
+"""SPMD002 bad twin: collectives under rank-dependent control flow."""
+
+
+def master_only(sim, rank):
+    if rank == 0:
+        sim.barrier()
+
+
+def once_per_rank(sim, nranks):
+    for r in range(nranks):
+        sim.allreduce(0.0)

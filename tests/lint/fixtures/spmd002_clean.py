@@ -1,0 +1,12 @@
+"""SPMD002 clean twin: collectives reached by every rank."""
+
+
+def superstep(sim, converged):
+    sim.barrier()
+    if not converged:
+        sim.allreduce(0.0)
+
+
+def level_loop(sim, levels):
+    for level in range(levels):
+        sim.barrier()

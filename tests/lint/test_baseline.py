@@ -1,0 +1,83 @@
+"""Baseline fingerprints: line-shift stability, occurrence handling,
+save/load/split round-trips."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.lint import Baseline, Finding, Severity, fingerprint_findings
+from repro.lint.baseline import fingerprint
+
+
+def make(rule="DET003", path="pkg/mod.py", line=10, snippet="if x == 0.5:", occ=0):
+    return Finding(
+        rule=rule,
+        severity=Severity.WARNING,
+        path=path,
+        line=line,
+        col=4,
+        message="float equality",
+        snippet=snippet,
+    ).with_occurrence(occ)
+
+
+class TestFingerprint:
+    def test_stable_under_line_shift(self):
+        assert fingerprint(make(line=10)) == fingerprint(make(line=99))
+
+    def test_sensitive_to_rule_path_snippet(self):
+        base = fingerprint(make())
+        assert fingerprint(make(rule="DET004")) != base
+        assert fingerprint(make(path="pkg/other.py")) != base
+        assert fingerprint(make(snippet="if x == 1.5:")) != base
+
+    def test_occurrence_disambiguates_identical_lines(self):
+        assert fingerprint(make(occ=0)) != fingerprint(make(occ=1))
+
+    def test_fingerprint_findings_assigns_occurrences_in_order(self):
+        twins = [make(line=10), make(line=50), make(line=90, snippet="other")]
+        stamped = fingerprint_findings(twins)
+        assert [f.occurrence for f in stamped] == [0, 1, 0]
+
+
+class TestBaselineRoundTrip:
+    def test_save_load_split(self, tmp_path: Path):
+        old = make(line=10)
+        baseline = Baseline.from_findings([old])
+        bl_path = tmp_path / "lint-baseline.json"
+        baseline.save(bl_path)
+
+        loaded = Baseline.load(bl_path)
+        # the frozen finding moved 40 lines: still frozen
+        moved = make(line=50)
+        fresh = make(snippet="if y != 2.5:", line=11)
+        new, frozen = loaded.split([moved, fresh])
+        assert [f.snippet for f in new] == ["if y != 2.5:"]
+        assert [f.snippet for f in frozen] == ["if x == 0.5:"]
+
+    def test_second_occurrence_is_new(self, tmp_path: Path):
+        bl_path = tmp_path / "b.json"
+        Baseline.from_findings([make(line=10)]).save(bl_path)
+        loaded = Baseline.load(bl_path)
+        # a *second* identical line appears: only occurrence 1 is new
+        new, frozen = loaded.split([make(line=10), make(line=20)])
+        assert len(frozen) == 1 and len(new) == 1
+        assert new[0].occurrence == 1
+
+    def test_version_mismatch_rejected(self, tmp_path: Path):
+        bad = tmp_path / "old.json"
+        bad.write_text(json.dumps({"version": 99, "findings": []}))
+        with pytest.raises(ValueError, match="version"):
+            Baseline.load(bad)
+
+    def test_saved_file_is_valid_json_with_comment(self, tmp_path: Path):
+        bl_path = tmp_path / "b.json"
+        Baseline.from_findings([make()]).save(bl_path)
+        doc = json.loads(bl_path.read_text())
+        assert doc["version"] == 1
+        assert "write-baseline" in doc["comment"]
+        assert len(doc["findings"]) == 1
+        entry = doc["findings"][0]
+        assert entry["fingerprint"] == fingerprint(make())
+        assert entry["rule"] == "DET003"

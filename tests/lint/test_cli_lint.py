@@ -1,0 +1,143 @@
+"""The ``python -m repro lint`` command end to end."""
+
+import json
+import shutil
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+
+FIXTURES = Path(__file__).parent / "fixtures"
+REPO = Path(__file__).resolve().parents[2]
+
+
+def test_bad_fixture_exits_1(capsys):
+    rc = main(["lint", str(FIXTURES / "det003_bad.py"), "--no-baseline"])
+    out = capsys.readouterr().out
+    assert rc == 1
+    assert "DET003" in out
+    assert out.strip().endswith("2 finding(s)")
+
+
+def test_clean_fixture_exits_0(capsys):
+    rc = main(["lint", str(FIXTURES / "det003_clean.py"), "--no-baseline"])
+    assert rc == 0
+    assert capsys.readouterr().out.strip() == "0 finding(s)"
+
+
+def test_missing_path_exits_2(capsys):
+    rc = main(["lint", str(FIXTURES / "no_such_file.py")])
+    assert rc == 2
+    assert "no such path" in capsys.readouterr().err
+
+
+def test_repo_acceptance_command(capsys):
+    """`python -m repro lint src/repro` run from the repo: exit 0."""
+    rc = main(["lint", str(REPO / "src" / "repro")])
+    out = capsys.readouterr().out
+    assert rc == 0, out
+    assert "0 finding(s)" in out
+
+
+def test_list_rules(capsys):
+    rc = main(["lint", "--list-rules"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    for rid in ("SPMD001", "DET001", "PAR001", "BRK001"):
+        assert rid in out
+
+
+def test_select_and_ignore(capsys):
+    path = str(FIXTURES / "det001_bad.py")
+    assert main(["lint", path, "--no-baseline", "--select", "SPMD001"]) == 0
+    capsys.readouterr()
+    assert main(["lint", path, "--no-baseline", "--ignore", "DET001"]) == 0
+
+
+def test_json_format(capsys):
+    rc = main(["lint", str(FIXTURES / "brk001_bad.py"), "--no-baseline",
+               "--format", "json"])
+    doc = json.loads(capsys.readouterr().out)
+    assert rc == 1
+    assert doc["new"] == 2
+    assert {f["rule"] for f in doc["findings"]} == {"BRK001"}
+
+
+def test_sarif_to_file(tmp_path, capsys):
+    out_file = tmp_path / "report.sarif"
+    rc = main(["lint", str(FIXTURES / "spmd001_bad.py"), "--no-baseline",
+               "--format", "sarif", "-o", str(out_file)])
+    assert rc == 1
+    assert "wrote sarif report" in capsys.readouterr().out
+    doc = json.loads(out_file.read_text())
+    assert doc["version"] == "2.1.0"
+    assert len(doc["runs"][0]["results"]) == 2
+
+
+class TestBaselineWorkflow:
+    def test_write_then_gate(self, tmp_path, capsys):
+        work = tmp_path / "proj"
+        (work / "src").mkdir(parents=True)
+        (work / "pyproject.toml").write_text("[project]\nname='x'\n")
+        mod = work / "src" / "mod.py"
+        shutil.copyfile(FIXTURES / "det003_bad.py", mod)
+
+        bl = work / "lint-baseline.json"
+        rc = main(["lint", str(mod), "--write-baseline", "--baseline", str(bl)])
+        assert rc == 0
+        assert "froze 2 finding(s)" in capsys.readouterr().out
+
+        # gated run: everything frozen -> exit 0
+        rc = main(["lint", str(mod), "--baseline", str(bl)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "0 finding(s), 2 baselined" in out
+
+        # a new defect appears -> exit 1, only the new finding reported
+        mod.write_text(mod.read_text() + "\n\ndef fresh(z):\n    return z == 1.25\n")
+        rc = main(["lint", str(mod), "--baseline", str(bl)])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "1.25" in out
+        assert "1 finding(s), 2 baselined" in out
+
+    def test_default_baseline_from_project_root(self, tmp_path, capsys, monkeypatch):
+        work = tmp_path / "proj"
+        (work / "src").mkdir(parents=True)
+        (work / "pyproject.toml").write_text("[project]\nname='x'\n")
+        mod = work / "src" / "mod.py"
+        shutil.copyfile(FIXTURES / "det004_bad.py", mod)
+        # write to the root-default location, then gate without --baseline
+        assert main(["lint", str(mod), "--write-baseline"]) == 0
+        capsys.readouterr()
+        assert (work / "lint-baseline.json").exists()
+        assert main(["lint", str(mod)]) == 0
+        assert "2 baselined" in capsys.readouterr().out
+
+    def test_show_baselined(self, tmp_path, capsys):
+        work = tmp_path / "proj"
+        (work / "src").mkdir(parents=True)
+        (work / "pyproject.toml").write_text("[project]\nname='x'\n")
+        mod = work / "src" / "mod.py"
+        shutil.copyfile(FIXTURES / "brk001_bad.py", mod)
+        assert main(["lint", str(mod), "--write-baseline"]) == 0
+        capsys.readouterr()
+        assert main(["lint", str(mod), "--show-baselined"]) == 0
+        assert "[baseline]" in capsys.readouterr().out
+
+
+class TestChangedOnly:
+    def test_changed_only_outside_git_lints_everything(self, tmp_path, capsys):
+        work = tmp_path / "notgit"
+        (work / "src").mkdir(parents=True)
+        (work / "pyproject.toml").write_text("[project]\nname='x'\n")
+        mod = work / "src" / "mod.py"
+        shutil.copyfile(FIXTURES / "det003_bad.py", mod)
+        rc = main(["lint", str(mod), "--no-baseline", "--changed-only"])
+        # `git status` still resolves inside the enclosing repo checkout,
+        # so the fixture path (untracked or not applicable) yields either
+        # a full lint (rc 1) or an empty changed set (rc 0); both are
+        # exercised without crashing.
+        assert rc in (0, 1)
+        assert "finding(s)" in capsys.readouterr().out

@@ -1,5 +1,7 @@
 """Unit tests for the command-line interface."""
 
+import json
+
 import numpy as np
 import pytest
 
@@ -67,6 +69,49 @@ class TestCommands:
             main([])
 
 
+class TestInfoPaths:
+    def test_nonsymmetric_matrix_reported(self, capsys):
+        assert main(["info", "cd:5"]) == 0
+        out = capsys.readouterr().out
+        assert "symmetric:  no (|A-A^T|_F" in out
+
+    def test_mtx_file_input(self, tmp_path, capsys):
+        from repro.matrices import poisson2d
+        from repro.sparse import write_matrix_market
+
+        p = tmp_path / "m.mtx"
+        write_matrix_market(poisson2d(4), p)
+        assert main(["info", str(p)]) == 0
+        out = capsys.readouterr().out
+        assert "16 x 16" in out
+        assert "diagonal:" in out and "zero entries = 0" in out
+
+    def test_bandwidth_and_density_lines(self, capsys):
+        assert main(["info", "g0:8"]) == 0
+        out = capsys.readouterr().out
+        assert "bandwidth:" in out
+        assert "per row" in out
+
+
+class TestPartitionPaths:
+    @pytest.mark.parametrize("method", ["multilevel", "block", "random"])
+    def test_all_methods(self, method, capsys):
+        assert main(["partition", "g0:10", "-p", "4", "--method", method]) == 0
+        out = capsys.readouterr().out
+        assert "p=4" in out
+        assert "halo exchange" in out
+
+    def test_single_rank_has_no_halo(self, capsys):
+        assert main(["partition", "g0:8", "-p", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "halo exchange: 0 rank pairs, 0 values per matvec" in out
+
+    def test_seed_changes_random_partition_not_exit_code(self, capsys):
+        assert main(["partition", "g0:10", "-p", "4", "--method", "random",
+                     "--seed", "7"]) == 0
+        assert "p=4" in capsys.readouterr().out
+
+
 class TestCheckCommand:
     def test_healthy_run_exits_zero(self, capsys):
         assert main(["check", "g0:10", "-p", "4", "-m", "5"]) == 0
@@ -125,3 +170,32 @@ class TestFaultInjectModes:
         assert "NonFiniteError" in out
         assert "converged" in out
         assert "fault check OK: corruption detected" in out
+
+
+class TestCheckJson:
+    """``check --json`` replaces the text report with one JSON document."""
+
+    def test_structural_ok(self, capsys):
+        assert main(["check", "g0:10", "-p", "4", "-m", "5", "--json"]) == 0
+        out = capsys.readouterr().out
+        doc = json.loads(out)  # the whole stdout is one document
+        assert doc["mode"] == "structural"
+        assert doc["ok"] is True and doc["exit"] == 0
+        assert doc["races"] == [] and doc["invariant_violations"] == []
+        assert doc["levels"] > 0
+        assert doc["params"] == {"m": 5, "t": 1e-4, "k": None}
+
+    def test_structural_injection_reported(self, capsys):
+        assert main(["check", "g0:10", "--inject", "zero-diag", "--json"]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["ok"] is False and doc["exit"] == 1
+        assert doc["inject"] == "zero-diag"
+        assert any("singular" in v for v in doc["invariant_violations"])
+
+    def test_fault_mode_recovery(self, capsys):
+        assert main(["check", "g0:12", "--inject", "message-drop", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["mode"] == "fault"
+        assert doc["injected"] is True
+        assert doc["factors_bit_identical"] is True
+        assert doc["ok"] is True and doc["exit"] == 0
