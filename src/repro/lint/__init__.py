@@ -26,9 +26,10 @@ workflow that freezes pre-existing findings.
 from .baseline import Baseline, fingerprint_findings
 from .findings import Finding, Severity
 from .registry import Rule, all_rules, get_rule, register
-from .runner import LintConfig, ProjectContext, run_lint
+from .runner import LintConfig, LintStats, ProjectContext, run_lint
 
 __all__ = [
+    "LintStats",
     "Finding",
     "Severity",
     "Rule",

@@ -1,0 +1,125 @@
+"""Incremental per-module analysis cache (``.repro-lint-cache/``).
+
+``check_module`` results are a pure function of (module source, rule
+implementations, active configuration) — so they are cached on disk
+keyed by the SHA-256 of exactly those inputs, and a warm ``repro lint``
+run re-parses and re-analyzes only modified files.  Project-level rules
+(kernel parity, cross-module tag matching, the protocol verifier) see
+every module each run and are never cached.
+
+The lint package's own sources are part of the key: editing any rule,
+the flow engine, or this file invalidates every entry at once.  Entries
+are one JSON file per key; stale entries are pruned opportunistically
+(best-effort — the cache is always safe to delete).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+from .findings import Finding, Severity
+
+__all__ = ["CACHE_DIR_NAME", "AnalysisCache", "package_signature"]
+
+CACHE_DIR_NAME = ".repro-lint-cache"
+_VERSION = 1
+_MAX_ENTRIES = 4096
+
+_pkg_sig_memo: str | None = None
+
+
+def package_signature() -> str:
+    """Hash of every source file of the lint package itself."""
+    global _pkg_sig_memo
+    if _pkg_sig_memo is not None:
+        return _pkg_sig_memo
+    h = hashlib.sha256()
+    pkg_dir = Path(__file__).resolve().parent
+    for f in sorted(pkg_dir.rglob("*.py")):
+        h.update(f.as_posix().encode())
+        try:
+            h.update(f.read_bytes())
+        except OSError:
+            h.update(b"?")
+    _pkg_sig_memo = h.hexdigest()[:20]
+    return _pkg_sig_memo
+
+
+def _encode(f: Finding) -> dict:
+    return {
+        "rule": f.rule,
+        "severity": str(f.severity),
+        "path": f.path,
+        "line": f.line,
+        "col": f.col,
+        "message": f.message,
+        "snippet": f.snippet,
+    }
+
+
+def _decode(d: dict) -> Finding:
+    return Finding(
+        rule=d["rule"],
+        severity=Severity(d["severity"]),
+        path=d["path"],
+        line=d["line"],
+        col=d["col"],
+        message=d["message"],
+        snippet=d.get("snippet", ""),
+    )
+
+
+class AnalysisCache:
+    """Disk-backed ``source hash -> check_module findings`` map."""
+
+    def __init__(self, root: Path, config_sig: str = "") -> None:
+        self.dir = root / CACHE_DIR_NAME
+        self._context = f"v{_VERSION}:{package_signature()}:{config_sig}"
+        self.hits = 0
+        self.misses = 0
+
+    def key(self, relpath: str, source: str) -> str:
+        h = hashlib.sha256()
+        h.update(self._context.encode())
+        h.update(b"\x00")
+        h.update(relpath.encode())
+        h.update(b"\x00")
+        h.update(source.encode())
+        return h.hexdigest()[:32]
+
+    def _entry(self, key: str) -> Path:
+        return self.dir / f"{key}.json"
+
+    def get(self, key: str) -> list[Finding] | None:
+        try:
+            raw = self._entry(key).read_text(encoding="utf-8")
+            doc = json.loads(raw)
+            findings = [_decode(d) for d in doc["findings"]]
+        except (OSError, ValueError, KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return findings
+
+    def put(self, key: str, findings: list[Finding]) -> None:
+        try:
+            self.dir.mkdir(parents=True, exist_ok=True)
+            doc = {"findings": [_encode(f) for f in findings]}
+            self._entry(key).write_text(
+                json.dumps(doc, separators=(",", ":")), encoding="utf-8"
+            )
+        except OSError:
+            pass  # cache is advisory; never fail the lint run
+        self._prune()
+
+    def _prune(self) -> None:
+        try:
+            entries = sorted(
+                self.dir.glob("*.json"), key=lambda p: p.stat().st_mtime
+            )
+            for stale in entries[: max(0, len(entries) - _MAX_ENTRIES)]:
+                stale.unlink(missing_ok=True)
+        except OSError:
+            pass

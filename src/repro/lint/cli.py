@@ -2,7 +2,12 @@
 
 Exit status: 0 when no *new* (non-baselined) findings, 1 otherwise —
 the CI contract.  ``--write-baseline`` freezes the current findings and
-always exits 0.
+always exits 0.  ``--fix`` applies the mechanical rewrites (seed
+injection, ``sorted(...)`` wrapping, typed-breakdown raises) in place;
+with ``--diff`` it prints the would-be patch instead and exits 1 when
+anything would change (the pre-commit check mode).
+``--verify-protocol`` runs the symbolic SPMD protocol verifier and
+prints a per-driver certification table.
 """
 
 from __future__ import annotations
@@ -13,9 +18,17 @@ import sys
 from pathlib import Path
 
 from .baseline import Baseline
-from .output import render_json, render_sarif, render_text
+from .fixes import fix_paths, render_diff
+from .output import render_github, render_json, render_sarif, render_text
 from .registry import all_rules
-from .runner import LintConfig, find_project_root, run_lint
+from .runner import (
+    LintConfig,
+    LintStats,
+    collect_files,
+    find_project_root,
+    parse_module,
+    run_lint,
+)
 
 __all__ = ["add_lint_parser", "cmd_lint"]
 
@@ -28,7 +41,8 @@ def add_lint_parser(sub: "argparse._SubParsersAction") -> argparse.ArgumentParse
         help="static SPMD/determinism/backend-parity analysis",
         description=(
             "AST-based static analysis: SPMD communication discipline, "
-            "determinism hazards, kernel backend parity, breakdown typing. "
+            "determinism hazards, kernel backend parity, breakdown typing, "
+            "and symbolic protocol verification. "
             "Exit 1 on findings not frozen in the baseline."
         ),
     )
@@ -40,9 +54,9 @@ def add_lint_parser(sub: "argparse._SubParsersAction") -> argparse.ArgumentParse
     )
     p.add_argument(
         "--format",
-        choices=("text", "json", "sarif"),
+        choices=("text", "json", "sarif", "github"),
         default="text",
-        help="output format (default: text)",
+        help="output format (default: text; github = workflow commands)",
     )
     p.add_argument(
         "-o", "--output", default=None, help="write the report to a file instead of stdout"
@@ -73,6 +87,31 @@ def add_lint_parser(sub: "argparse._SubParsersAction") -> argparse.ArgumentParse
         "--show-baselined",
         action="store_true",
         help="also print findings frozen in the baseline (text format)",
+    )
+    p.add_argument(
+        "--fix",
+        action="store_true",
+        help="apply mechanical fixes (DET001/DET002/DET004/BRK001) in place",
+    )
+    p.add_argument(
+        "--diff",
+        action="store_true",
+        help="with --fix: print the patch instead of writing; exit 1 if non-empty",
+    )
+    p.add_argument(
+        "--verify-protocol",
+        action="store_true",
+        help="symbolically verify the SPMD drivers deadlock-free (ranks 2-4)",
+    )
+    p.add_argument(
+        "--stats",
+        action="store_true",
+        help="print per-rule timing and cache statistics to stderr",
+    )
+    p.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the incremental .repro-lint-cache/ reuse",
     )
     p.add_argument(
         "--list-rules", action="store_true", help="print the rule registry and exit"
@@ -120,10 +159,95 @@ def _restrict_to_changed(paths: list[Path], root: Path) -> list[Path]:
     return picked
 
 
+def _cmd_fix(args: argparse.Namespace, paths: list[Path], root: Path) -> int:
+    select = tuple(s for s in args.select.split(",") if s)
+    files = [
+        f
+        for f in collect_files(paths)
+        if "/.repro-lint-cache/" not in f.as_posix()
+    ]
+    config = LintConfig(project_root=root)
+    explicit = {p.resolve() for p in paths if p.is_file()}
+    files = [
+        f
+        for f in files
+        if f in explicit
+        or not any(_relpath(f, root).startswith(p) for p in config.exclude)
+    ]
+    outcome = fix_paths(files, root, select=select)
+    for rel in outcome.refused:
+        print(
+            f"repro lint --fix: refused {rel} (AST verification failed)",
+            file=sys.stderr,
+        )
+    if args.diff:
+        diff = render_diff(outcome)
+        if diff:
+            print(diff, end="")
+        print(
+            f"{len(outcome.fixes)} fix(es) in {len(outcome.changed)} file(s) "
+            + ("(not applied; --diff)" if outcome.changed else ""),
+            file=sys.stderr,
+        )
+        return 1 if outcome.changed else 0
+    for rel, (_, new_source) in outcome.changed.items():
+        (root / rel).write_text(new_source, encoding="utf-8")
+    for fix in outcome.fixes:
+        print(f"{fix.path}:{fix.line}: {fix.rule}: {fix.description}")
+    print(f"applied {len(outcome.fixes)} fix(es) in {len(outcome.changed)} file(s)")
+    return 0
+
+
+def _relpath(path: Path, root: Path) -> str:
+    try:
+        return path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def _cmd_verify_protocol(paths: list[Path], root: Path) -> int:
+    from .flow import verify_drivers
+
+    config = LintConfig(project_root=root)
+    explicit = {p.resolve() for p in paths if p.is_file()}
+    modules = [
+        m
+        for f in collect_files(paths)
+        if (m := parse_module(f, root)) is not None
+        and (
+            f in explicit
+            or not any(m.relpath.startswith(p) for p in config.exclude)
+        )
+    ]
+    reports = verify_drivers(modules)
+    if not reports:
+        print("no drivers found to verify")
+        return 1
+    all_ok = True
+    for r in reports:
+        status = "CERTIFIED" if r.certified else "FAILED"
+        ranks = ",".join(str(x) for x in r.ranks)
+        print(
+            f"{status:<9} {r.module}::{r.qualname}  ranks={ranks} "
+            f"paths={r.paths} posts={r.posts} drains={r.drains} "
+            f"collectives={r.collectives}"
+        )
+        for p in r.problems:
+            print(f"  [{p.kind}] {p.module}:{p.line} in {p.function}: {p.message}")
+            all_ok = False
+        all_ok = all_ok and r.certified
+    print(
+        f"{sum(1 for r in reports if r.certified)}/{len(reports)} driver(s) certified "
+        "deadlock-free"
+    )
+    return 0 if all_ok else 1
+
+
 def cmd_lint(args: argparse.Namespace) -> int:
     config = LintConfig(
         select=tuple(s for s in args.select.split(",") if s),
         ignore=tuple(s for s in args.ignore.split(",") if s),
+        use_cache=not args.no_cache,
     )
     if args.list_rules:
         for rule in all_rules():
@@ -138,13 +262,21 @@ def cmd_lint(args: argparse.Namespace) -> int:
     root = find_project_root(paths[0])
     config.project_root = root
 
+    if args.verify_protocol:
+        return _cmd_verify_protocol(paths, root)
+    if args.fix:
+        return _cmd_fix(args, paths, root)
+
     if args.changed_only:
         paths = _restrict_to_changed(paths, root)
         if not paths:
             print("0 finding(s)")
             return 0
 
-    findings = run_lint(paths, config)
+    stats = LintStats() if args.stats else None
+    findings = run_lint(paths, config, stats)
+    if stats is not None:
+        print(stats.render(), file=sys.stderr)
 
     baseline_path = Path(args.baseline) if args.baseline else root / DEFAULT_BASELINE
     if args.write_baseline:
@@ -161,6 +293,8 @@ def cmd_lint(args: argparse.Namespace) -> int:
         report = render_json(new, frozen)
     elif args.format == "sarif":
         report = render_sarif(new, frozen, all_rules())
+    elif args.format == "github":
+        report = render_github(new, frozen)
     else:
         report = render_text(new, frozen, verbose_frozen=args.show_baselined)
 

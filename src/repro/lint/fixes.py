@@ -1,0 +1,488 @@
+"""Auto-fixes for mechanically-correctable findings (``repro lint --fix``).
+
+Fixers exist for the rules whose remedy is a *local* rewrite:
+
+``DET001``
+    ``np.random.default_rng()`` → ``np.random.default_rng(0)`` — seed
+    injection.  The global-state variants (``np.random.rand`` …) need a
+    Generator threaded through the API and are *not* auto-fixed.
+``DET002`` / ``DET004``
+    Wrap the offending unordered iterable / reduction source in
+    ``sorted(...)``.
+``BRK001``
+    Rewrite the raised builtin to the matching typed breakdown
+    (``ZeroDivisionError`` → ``ZeroPivotError``, ``FloatingPointError``
+    → ``NonFiniteError``, message-routed for ``ValueError``/
+    ``ArithmeticError``) and inject the ``repro.resilience`` import.
+
+Safety contract
+---------------
+Each pass plans surgical text edits *and* the intended AST mutation
+together, applies the edits, re-parses, and requires ``ast.dump``
+equality between the intended tree and the re-parsed one; any mismatch
+rolls the file back untouched.  Fixing is idempotent by construction —
+a fixed file produces no further fixable findings — and
+``tests/lint/test_fixes.py`` locks both properties in.
+"""
+
+from __future__ import annotations
+
+import ast
+import difflib
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .astutil import attach_parents, call_name, dotted_name, is_sorted_call, literal_text
+from .rules.breakdown import _NUMERIC_MESSAGE, _SUGGESTION
+from .rules.determinism import (
+    _function_has_comm,
+    _is_set_expr,
+    _REDUCERS,
+    _set_bound_names,
+    _unordered_iter_reason,
+)
+
+__all__ = ["AppliedFix", "FixOutcome", "fix_source", "fix_paths", "render_diff"]
+
+_FIXABLE_RULES = ("BRK001", "DET001", "DET002", "DET004")
+_MAX_PASSES = 4
+
+
+@dataclass(frozen=True)
+class AppliedFix:
+    """One rewrite that was applied (or would be, under ``--diff``)."""
+
+    rule: str
+    path: str
+    line: int
+    description: str
+
+
+@dataclass
+class FixOutcome:
+    """Result of fixing a set of files."""
+
+    #: relpath -> (old source, new source); only files that changed.
+    changed: dict[str, tuple[str, str]] = field(default_factory=dict)
+    fixes: list[AppliedFix] = field(default_factory=list)
+    #: relpaths where verification refused the rewrite (left untouched).
+    refused: list[str] = field(default_factory=list)
+
+
+# ---------------------------------------------------------------- edits
+
+
+@dataclass
+class _Edit:
+    start: int  # absolute offset into the source
+    end: int
+    replacement: str
+
+
+def _offsets(source: str) -> list[int]:
+    """Absolute offset of the start of each (1-based) line."""
+    offs = [0]
+    for line in source.splitlines(keepends=True):
+        offs.append(offs[-1] + len(line))
+    return offs
+
+
+def _span(offs: list[int], node: ast.AST) -> tuple[int, int]:
+    start = offs[node.lineno - 1] + node.col_offset
+    end = offs[node.end_lineno - 1] + node.end_col_offset
+    return start, end
+
+
+def _apply_edits(source: str, edits: list[_Edit]) -> str | None:
+    """Apply non-overlapping edits; None when any two overlap."""
+    ordered = sorted(edits, key=lambda e: e.start)
+    for a, b in zip(ordered, ordered[1:]):
+        if a.end > b.start:
+            return None
+    out = source
+    for e in reversed(ordered):
+        out = out[: e.start] + e.replacement + out[e.end :]
+    return out
+
+
+# --------------------------------------------------------------- fixers
+
+
+def _route_valueerror(message: str) -> str:
+    low = message.lower()
+    if "pivot" in low or "divide" in low:
+        return "ZeroPivotError"
+    if "diagonal" in low:
+        return "ZeroDiagonalError"
+    if "finite" in low or "nan" in low or "inf" in low:
+        return "NonFiniteError"
+    return "NumericalBreakdown"
+
+
+_DIRECT_RENAME = {
+    "ZeroDivisionError": "ZeroPivotError",
+    "FloatingPointError": "NonFiniteError",
+    "ArithmeticError": "NumericalBreakdown",
+}
+
+
+def _resilience_import_line(relpath: str) -> str:
+    """Import statement prefix matching the module's package position."""
+    parts = Path(relpath).as_posix().split("/")
+    if parts and parts[0] in ("src", "lib"):
+        parts = parts[1:]
+    if len(parts) >= 2 and parts[0] == "repro":
+        # depth below the repro package decides the number of dots
+        dots = "." * max(1, len(parts) - 2)
+        return f"from {dots}resilience import "
+    return "from repro.resilience import "
+
+
+def _bound_top_level_names(tree: ast.Module) -> set[str]:
+    names: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.Import, ast.ImportFrom)):
+            for alias in node.names:
+                names.add((alias.asname or alias.name).split(".")[0])
+        elif isinstance(node, ast.ClassDef):
+            names.add(node.name)
+    return names
+
+
+class _Pass:
+    """One fix pass over one module: plan edits + the intended AST."""
+
+    def __init__(self, source: str, relpath: str, select: tuple[str, ...]) -> None:
+        self.source = source
+        self.relpath = relpath
+        self.select = select
+        self.tree = ast.parse(source)
+        attach_parents(self.tree)
+        self.offs = _offsets(source)
+        self.edits: list[_Edit] = []
+        #: deferred mutations of ``self.tree`` into the intended result
+        self.mutations: list = []
+        self.fixes: list[AppliedFix] = []
+        self._wrapped: set[int] = set()
+
+    def enabled(self, rule: str) -> bool:
+        return not self.select or rule in self.select
+
+    # -- DET001 -------------------------------------------------------
+
+    def plan_det001(self) -> None:
+        for node in ast.walk(self.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = dotted_name(node.func)
+            if dotted not in ("np.random.default_rng", "numpy.random.default_rng"):
+                continue
+            if node.args or node.keywords:
+                continue
+            _, func_end = _span(self.offs, node.func)
+            _, call_end = _span(self.offs, node)
+            self.edits.append(_Edit(func_end, call_end, "(0)"))
+            self.mutations.append(
+                lambda n=node: n.args.append(ast.Constant(value=0))
+            )
+            self.fixes.append(
+                AppliedFix(
+                    rule="DET001",
+                    path=self.relpath,
+                    line=node.lineno,
+                    description="seeded np.random.default_rng() with 0",
+                )
+            )
+
+    # -- DET002 / DET004 ----------------------------------------------
+
+    def _wrap_sorted(self, expr: ast.expr, setter, rule: str, line: int) -> None:
+        if id(expr) in self._wrapped:
+            return
+        self._wrapped.add(id(expr))
+        start, end = _span(self.offs, expr)
+        segment = self.source[start:end]
+        self.edits.append(_Edit(start, end, f"sorted({segment})"))
+
+        def mutate(e=expr, s=setter):
+            s(ast.Call(func=ast.Name(id="sorted", ctx=ast.Load()), args=[e], keywords=[]))
+
+        self.mutations.append(mutate)
+        self.fixes.append(
+            AppliedFix(
+                rule=rule,
+                path=self.relpath,
+                line=line,
+                description="wrapped unordered iterable in sorted(...)",
+            )
+        )
+
+    def plan_det002(self) -> None:
+        for func in ast.walk(self.tree):
+            if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if not _function_has_comm(func):
+                continue
+            set_names = _set_bound_names(func)
+            for node in ast.walk(func):
+                if isinstance(node, ast.For):
+                    expr = node.iter
+                    if not is_sorted_call(expr) and _unordered_iter_reason(
+                        expr, set_names
+                    ):
+                        self._wrap_sorted(
+                            expr,
+                            lambda v, n=node: setattr(n, "iter", v),
+                            "DET002",
+                            node.lineno,
+                        )
+                elif isinstance(
+                    node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+                ):
+                    for gen in node.generators:
+                        if not is_sorted_call(gen.iter) and _unordered_iter_reason(
+                            gen.iter, set_names
+                        ):
+                            self._wrap_sorted(
+                                gen.iter,
+                                lambda v, g=gen: setattr(g, "iter", v),
+                                "DET002",
+                                node.lineno,
+                            )
+
+    def plan_det004(self) -> None:
+        module_set_names = _set_bound_names(self.tree)
+        for node in ast.walk(self.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = call_name(node)
+            if name not in _REDUCERS or not node.args:
+                continue
+            arg = node.args[0]
+            if _is_set_expr(arg) or (
+                isinstance(arg, ast.Name) and arg.id in module_set_names
+            ):
+                if not is_sorted_call(arg):
+                    self._wrap_sorted(
+                        arg,
+                        lambda v, n=node: n.args.__setitem__(0, v),
+                        "DET004",
+                        node.lineno,
+                    )
+            elif isinstance(arg, ast.GeneratorExp):
+                src = arg.generators[0].iter
+                if (
+                    _is_set_expr(src)
+                    or (isinstance(src, ast.Name) and src.id in module_set_names)
+                ) and not is_sorted_call(src):
+                    self._wrap_sorted(
+                        src,
+                        lambda v, g=arg.generators[0]: setattr(g, "iter", v),
+                        "DET004",
+                        node.lineno,
+                    )
+
+    # -- BRK001 -------------------------------------------------------
+
+    def plan_brk001(self) -> None:
+        if self.relpath.endswith("resilience/breakdown.py"):
+            return
+        needed: list[str] = []
+        for node in ast.walk(self.tree):
+            if not isinstance(node, ast.Raise) or node.exc is None:
+                continue
+            exc = node.exc
+            name_node: ast.Name | None = None
+            message = ""
+            if isinstance(exc, ast.Call) and isinstance(exc.func, ast.Name):
+                name_node = exc.func
+                if exc.args:
+                    message = literal_text(exc.args[0])
+            elif isinstance(exc, ast.Name):
+                name_node = exc
+            if name_node is None or name_node.id not in _SUGGESTION:
+                continue
+            exc_name = name_node.id
+            if exc_name in ("ZeroDivisionError", "FloatingPointError"):
+                new_name = _DIRECT_RENAME[exc_name]
+            elif message and _NUMERIC_MESSAGE.search(message):
+                new_name = (
+                    _route_valueerror(message)
+                    if exc_name == "ValueError"
+                    else _DIRECT_RENAME[exc_name]
+                )
+            else:
+                continue
+            start, end = _span(self.offs, name_node)
+            self.edits.append(_Edit(start, end, new_name))
+            self.mutations.append(
+                lambda n=name_node, nn=new_name: setattr(n, "id", nn)
+            )
+            self.fixes.append(
+                AppliedFix(
+                    rule="BRK001",
+                    path=self.relpath,
+                    line=node.lineno,
+                    description=f"retyped raise {exc_name} -> {new_name}",
+                )
+            )
+            if new_name not in needed:
+                needed.append(new_name)
+        if needed:
+            self._plan_import(needed)
+
+    def _plan_import(self, names: list[str]) -> None:
+        bound = _bound_top_level_names(self.tree)
+        missing = [n for n in names if n not in bound]
+        if not missing:
+            return
+        # extend an existing resilience import when one is present
+        for node in self.tree.body:
+            if (
+                isinstance(node, ast.ImportFrom)
+                and node.module is not None
+                and node.module.split(".")[-1] == "resilience"
+            ):
+                existing = [a.name for a in node.names]
+                combined = sorted(set(existing) | set(missing))
+                dots = "." * node.level
+                start, end = _span(self.offs, node)
+                self.edits.append(
+                    _Edit(
+                        start,
+                        end,
+                        f"from {dots}{node.module} import {', '.join(combined)}",
+                    )
+                )
+
+                def mutate(n=node, c=combined):
+                    n.names = [ast.alias(name=x, asname=None) for x in c]
+
+                self.mutations.append(mutate)
+                return
+        # otherwise inject a fresh import after the last top-level import
+        stmt_text = _resilience_import_line(self.relpath) + ", ".join(
+            sorted(missing)
+        )
+        anchor_idx = 0
+        for i, node in enumerate(self.tree.body):
+            if isinstance(node, (ast.Import, ast.ImportFrom)):
+                anchor_idx = i + 1
+            elif (
+                i == 0
+                and isinstance(node, ast.Expr)
+                and isinstance(node.value, ast.Constant)
+                and isinstance(node.value.value, str)
+            ):
+                anchor_idx = 1  # after the module docstring
+        if anchor_idx == 0:
+            insert_at = 0
+        else:
+            insert_at = self.offs[self.tree.body[anchor_idx - 1].end_lineno]
+        self.edits.append(_Edit(insert_at, insert_at, stmt_text + "\n"))
+        new_stmt = ast.parse(stmt_text).body[0]
+
+        def mutate(idx=anchor_idx, stmt=new_stmt):
+            self.tree.body.insert(idx, stmt)
+
+        self.mutations.append(mutate)
+
+    # -- drive --------------------------------------------------------
+
+    def run(self) -> tuple[str | None, list[AppliedFix]]:
+        """Plan, apply, verify.  Returns (new source | None, fixes)."""
+        if self.enabled("DET001"):
+            self.plan_det001()
+        if self.enabled("DET002"):
+            self.plan_det002()
+        if self.enabled("DET004"):
+            self.plan_det004()
+        if self.enabled("BRK001"):
+            self.plan_brk001()
+        if not self.edits:
+            return self.source, []
+        new_source = _apply_edits(self.source, self.edits)
+        if new_source is None:
+            return None, []  # overlapping edits: refuse the whole pass
+        for mutate in self.mutations:
+            mutate()
+        try:
+            reparsed = ast.parse(new_source)
+        except SyntaxError:
+            return None, []
+        if ast.dump(reparsed) != ast.dump(self.tree):
+            return None, []  # intended AST != actual AST: refuse
+        return new_source, self.fixes
+
+
+def fix_source(
+    source: str,
+    relpath: str,
+    *,
+    select: tuple[str, ...] = (),
+) -> tuple[str, list[AppliedFix], bool]:
+    """Fix one module's source.
+
+    Returns ``(new_source, fixes, verified)``; ``verified`` is False
+    when a planned rewrite failed AST verification (the source is then
+    returned unchanged from the point of failure, earlier passes kept).
+    """
+    fixable = tuple(r for r in (select or _FIXABLE_RULES) if r in _FIXABLE_RULES)
+    if not fixable:
+        return source, [], True
+    fixes: list[AppliedFix] = []
+    current = source
+    for _ in range(_MAX_PASSES):
+        try:
+            p = _Pass(current, relpath, fixable)
+        except SyntaxError:
+            return current, fixes, True  # unparsable: nothing to fix
+        new_source, pass_fixes = p.run()
+        if new_source is None:
+            return current, fixes, False
+        if not pass_fixes or new_source == current:
+            break
+        fixes.extend(pass_fixes)
+        current = new_source
+    return current, fixes, True
+
+
+def fix_paths(
+    files: list[Path],
+    root: Path,
+    *,
+    select: tuple[str, ...] = (),
+) -> FixOutcome:
+    """Plan fixes for every file (no writes — the CLI decides that)."""
+    outcome = FixOutcome()
+    for path in files:
+        try:
+            source = path.read_text(encoding="utf-8")
+        except OSError:
+            continue
+        try:
+            rel = path.resolve().relative_to(root.resolve()).as_posix()
+        except ValueError:
+            rel = path.as_posix()
+        new_source, fixes, verified = fix_source(source, rel, select=select)
+        if not verified:
+            outcome.refused.append(rel)
+        if fixes and new_source != source:
+            outcome.changed[rel] = (source, new_source)
+            outcome.fixes.extend(fixes)
+    return outcome
+
+
+def render_diff(outcome: FixOutcome) -> str:
+    """Unified diff of every planned change (``--fix --diff``)."""
+    chunks: list[str] = []
+    for rel in sorted(outcome.changed):
+        old, new = outcome.changed[rel]
+        diff = difflib.unified_diff(
+            old.splitlines(keepends=True),
+            new.splitlines(keepends=True),
+            fromfile=f"a/{rel}",
+            tofile=f"b/{rel}",
+        )
+        chunks.append("".join(diff))
+    return "".join(chunks)

@@ -1,0 +1,63 @@
+"""Intraprocedural dataflow + whole-program flow analyses for the linter.
+
+The syntactic rules of :mod:`repro.lint.rules` pattern-match single AST
+shapes; this subpackage gives them (and three new analyses) actual
+program semantics to reason over:
+
+* :mod:`~repro.lint.flow.cfg` — per-function control-flow graphs of
+  basic blocks, the substrate every analysis runs on;
+* :mod:`~repro.lint.flow.dataflow` — a generic monotone-framework
+  worklist solver plus the two canonical instances the rules consume:
+  reaching definitions and constant (rank-value) propagation;
+* :mod:`~repro.lint.flow.callgraph` — a project-wide call graph with
+  class/method and import-aware name resolution, so per-function
+  communication summaries compose interprocedurally;
+* :mod:`~repro.lint.flow.summary` — per-function communication
+  summaries (posts, drains, collectives, loops, branches, calls) in a
+  small IR;
+* :mod:`~repro.lint.flow.protocol` — the static SPMD protocol verifier:
+  symbolic execution of a composed summary over concrete rank counts,
+  certifying drivers deadlock-free or producing located findings;
+* :mod:`~repro.lint.flow.taint` — rank-taint and RNG-taint def-use
+  analyses with full chains for the finding messages.
+"""
+
+from .callgraph import CallGraph, build_call_graph
+from .cfg import CFG, BasicBlock, build_cfg, function_cfgs
+from .dataflow import (
+    NAC,
+    UNDEF,
+    ConstantPropagation,
+    ReachingDefinitions,
+    constant_env_at,
+    eval_const_expr,
+)
+from .protocol import DRIVERS, ProtocolProblem, ProtocolReport, verify_drivers, verify_function
+from .summary import CommOp, FunctionSummary, summarize_function
+from .taint import TaintChain, rank_tainted_names, rng_taint_chains
+
+__all__ = [
+    "CFG",
+    "BasicBlock",
+    "build_cfg",
+    "function_cfgs",
+    "NAC",
+    "UNDEF",
+    "ConstantPropagation",
+    "ReachingDefinitions",
+    "constant_env_at",
+    "eval_const_expr",
+    "CallGraph",
+    "build_call_graph",
+    "CommOp",
+    "FunctionSummary",
+    "summarize_function",
+    "DRIVERS",
+    "ProtocolProblem",
+    "ProtocolReport",
+    "verify_function",
+    "verify_drivers",
+    "TaintChain",
+    "rank_tainted_names",
+    "rng_taint_chains",
+]

@@ -1,0 +1,283 @@
+"""Project-wide call graph with import- and class-aware name resolution.
+
+Built once per lint run from every parsed module, the graph answers the
+question the protocol verifier and the interprocedural SPMD rules need:
+*which function body does this call site execute?* — across
+
+* plain module-level calls (``helper(...)``),
+* imported names (``from .elimination import EliminationEngine``,
+  including relative imports and aliasing),
+* module-attribute calls (``mod.helper(...)`` through ``import``),
+* ``self.method(...)`` dispatch, resolved through a linearised
+  single-inheritance MRO that itself follows imports (e.g.
+  ``InterfacePartitionEngine`` inheriting ``EliminationEngine`` from a
+  sibling module).
+
+Resolution is best-effort and *sound for composition*: an unresolvable
+call simply contributes no summary (the verifier treats it as opaque),
+never a wrong one.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+__all__ = ["FunctionDecl", "ClassDecl", "CallGraph", "build_call_graph"]
+
+
+@dataclass
+class FunctionDecl:
+    """One function/method definition in the project."""
+
+    module: str  # project-root-relative posix path
+    qualname: str  # "func" or "Class.method"
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    cls: "ClassDecl | None" = None
+
+    @property
+    def key(self) -> str:
+        return f"{self.module}::{self.qualname}"
+
+
+@dataclass
+class ClassDecl:
+    """One class definition with its (unresolved) base names."""
+
+    module: str
+    name: str
+    node: ast.ClassDef
+    bases: list[str] = field(default_factory=list)
+    methods: dict[str, FunctionDecl] = field(default_factory=dict)
+
+
+def _dotted_module(relpath: str) -> str:
+    """``src/repro/ilu/elimination.py`` -> ``repro.ilu.elimination``."""
+    parts = relpath.replace("\\", "/").split("/")
+    if parts and parts[0] in ("src", "lib"):
+        parts = parts[1:]
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][:-3]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+def _attr_chain(node: ast.expr) -> str:
+    parts: list[str] = []
+    cur = node
+    while isinstance(cur, ast.Attribute):
+        parts.append(cur.attr)
+        cur = cur.value
+    if isinstance(cur, ast.Name):
+        parts.append(cur.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+@dataclass
+class _ModuleInfo:
+    relpath: str
+    dotted: str
+    functions: dict[str, FunctionDecl] = field(default_factory=dict)
+    classes: dict[str, ClassDecl] = field(default_factory=dict)
+    #: local name -> (defining module dotted name, remote name | None).
+    #: remote None means the name *is* the module (``import x.y as z``).
+    imports: dict[str, tuple[str, str | None]] = field(default_factory=dict)
+
+
+class CallGraph:
+    """Declarations, import tables, and call-site resolution."""
+
+    def __init__(self) -> None:
+        self._by_dotted: dict[str, _ModuleInfo] = {}
+        self._by_relpath: dict[str, _ModuleInfo] = {}
+
+    # ------------------------------------------------------------ build
+
+    def add_module(self, relpath: str, tree: ast.Module) -> None:
+        info = _ModuleInfo(relpath=relpath, dotted=_dotted_module(relpath))
+        for node in tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                info.functions[node.name] = FunctionDecl(
+                    module=relpath, qualname=node.name, node=node
+                )
+            elif isinstance(node, ast.ClassDef):
+                cls = ClassDecl(
+                    module=relpath,
+                    name=node.name,
+                    node=node,
+                    bases=[b for b in map(_attr_chain, node.bases) if b],
+                )
+                for item in node.body:
+                    if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        cls.methods[item.name] = FunctionDecl(
+                            module=relpath,
+                            qualname=f"{node.name}.{item.name}",
+                            node=item,
+                            cls=cls,
+                        )
+                info.classes[node.name] = cls
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    target = alias.name if alias.asname else alias.name.split(".")[0]
+                    info.imports[local] = (target, None)
+            elif isinstance(node, ast.ImportFrom):
+                base = self._resolve_relative(info.dotted, node)
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    info.imports[alias.asname or alias.name] = (base, alias.name)
+        self._by_dotted[info.dotted] = info
+        self._by_relpath[relpath] = info
+
+    @staticmethod
+    def _resolve_relative(dotted: str, node: ast.ImportFrom) -> str:
+        if node.level == 0:
+            return node.module or ""
+        parts = dotted.split(".")
+        # level 1 = current package; the module path includes the leaf
+        # module name, so strip `level` components.
+        parts = parts[: max(0, len(parts) - node.level)]
+        if node.module:
+            parts += node.module.split(".")
+        return ".".join(parts)
+
+    # ---------------------------------------------------------- queries
+
+    def module(self, relpath: str) -> bool:
+        return relpath in self._by_relpath
+
+    def functions(self) -> list[FunctionDecl]:
+        out: list[FunctionDecl] = []
+        for info in self._by_relpath.values():
+            out.extend(info.functions.values())
+            for cls in info.classes.values():
+                out.extend(cls.methods.values())
+        return out
+
+    def lookup(self, relpath: str, qualname: str) -> FunctionDecl | None:
+        info = self._by_relpath.get(relpath)
+        if info is None:
+            return None
+        if "." in qualname:
+            cls_name, _, meth = qualname.partition(".")
+            cls = info.classes.get(cls_name)
+            if cls is not None:
+                return self._method_in_mro(cls, meth)
+            return None
+        return info.functions.get(qualname)
+
+    def _resolve_name(
+        self, info: _ModuleInfo, name: str, *, depth: int = 0
+    ) -> FunctionDecl | ClassDecl | None:
+        """A name in ``info``'s namespace -> its declaration (if ours)."""
+        if depth > 8:
+            return None
+        if name in info.functions:
+            return info.functions[name]
+        if name in info.classes:
+            return info.classes[name]
+        if name in info.imports:
+            src_dotted, remote = info.imports[name]
+            src = self._by_dotted.get(src_dotted)
+            if src is None or remote is None:
+                return None
+            return self._resolve_name(src, remote, depth=depth + 1)
+        return None
+
+    def mro(self, cls: ClassDecl) -> list[ClassDecl]:
+        """Linearised single-inheritance chain (first base wins)."""
+        out = [cls]
+        seen = {id(cls)}
+        cur: ClassDecl | None = cls
+        while cur is not None and cur.bases:
+            base_decl = None
+            info = self._by_relpath.get(cur.module)
+            if info is not None:
+                for b in cur.bases:
+                    resolved = self._resolve_name(info, b.split(".")[-1])
+                    if isinstance(resolved, ClassDecl):
+                        base_decl = resolved
+                        break
+            if base_decl is None or id(base_decl) in seen:
+                break
+            out.append(base_decl)
+            seen.add(id(base_decl))
+            cur = base_decl
+        return out
+
+    def _method_in_mro(self, cls: ClassDecl, name: str) -> FunctionDecl | None:
+        for c in self.mro(cls):
+            if name in c.methods:
+                return c.methods[name]
+        return None
+
+    def resolve_call(
+        self,
+        call: ast.Call,
+        relpath: str,
+        enclosing_class: str | None = None,
+    ) -> FunctionDecl | None:
+        """The project function a call site executes, or None if opaque."""
+        info = self._by_relpath.get(relpath)
+        if info is None:
+            return None
+        func = call.func
+        if isinstance(func, ast.Name):
+            resolved = self._resolve_name(info, func.id)
+            if isinstance(resolved, FunctionDecl):
+                return resolved
+            if isinstance(resolved, ClassDecl):  # constructor: __init__
+                return self._method_in_mro(resolved, "__init__")
+            return None
+        if isinstance(func, ast.Attribute):
+            base = func.value
+            if isinstance(base, ast.Name) and base.id in ("self", "cls"):
+                if enclosing_class is None:
+                    return None
+                cls = info.classes.get(enclosing_class)
+                if cls is None:
+                    return None
+                return self._method_in_mro(cls, func.attr)
+            if isinstance(base, ast.Name) and base.id in info.imports:
+                src_dotted, remote = info.imports[base.id]
+                if remote is None:  # module alias: mod.func(...)
+                    src = self._by_dotted.get(src_dotted)
+                    if src is not None:
+                        resolved = self._resolve_name(src, func.attr)
+                        if isinstance(resolved, FunctionDecl):
+                            return resolved
+            return None
+        return None
+
+    def edges(self) -> dict[str, set[str]]:
+        """``caller key -> {callee keys}`` over every resolvable call."""
+        out: dict[str, set[str]] = {}
+        for decl in self.functions():
+            cls_name = decl.cls.name if decl.cls is not None else None
+            callees = out.setdefault(decl.key, set())
+            for node in ast.walk(decl.node):
+                if isinstance(node, ast.Call):
+                    callee = self.resolve_call(node, decl.module, cls_name)
+                    if callee is not None:
+                        callees.add(callee.key)
+        return out
+
+    def roots(self) -> set[str]:
+        """Function keys never called from inside the project."""
+        edges = self.edges()
+        called: set[str] = set()
+        for callees in edges.values():
+            called |= callees
+        return {d.key for d in self.functions()} - called
+
+
+def build_call_graph(modules: list) -> CallGraph:
+    """Build from ``ModuleContext``-likes (``relpath`` + ``tree`` attrs)."""
+    cg = CallGraph()
+    for m in modules:
+        cg.add_module(m.relpath, m.tree)
+    return cg

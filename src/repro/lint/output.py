@@ -14,7 +14,13 @@ from .baseline import fingerprint, fingerprint_findings
 from .findings import Finding
 from .registry import Rule
 
-__all__ = ["render_text", "render_json", "render_sarif", "SARIF_SCHEMA_URI"]
+__all__ = [
+    "render_text",
+    "render_json",
+    "render_sarif",
+    "render_github",
+    "SARIF_SCHEMA_URI",
+]
 
 SARIF_SCHEMA_URI = (
     "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
@@ -29,6 +35,42 @@ def render_text(
     lines = [f.render() for f in new]
     if verbose_frozen:
         lines += [f"{f.render()}  [baseline]" for f in frozen]
+    counts = f"{len(new)} finding(s)"
+    if frozen:
+        counts += f", {len(frozen)} baselined"
+    lines.append(counts)
+    return "\n".join(lines)
+
+
+_GH_COMMAND = {"error": "error", "warning": "warning", "note": "notice"}
+
+
+def _gh_escape(text: str, *, property_value: bool = False) -> str:
+    """GitHub workflow-command escaping (data vs property positions)."""
+    out = text.replace("%", "%25").replace("\r", "%0D").replace("\n", "%0A")
+    if property_value:
+        out = out.replace(":", "%3A").replace(",", "%2C")
+    return out
+
+
+def render_github(new: list[Finding], frozen: list[Finding]) -> str:
+    """GitHub Actions workflow commands — one ``::error``/``::warning``
+    per new finding, annotated in the PR diff by the runner.
+
+    Baselined findings are emitted as ``::notice`` so they stay visible
+    without failing checks; the trailing summary line mirrors the text
+    format for the job log.
+    """
+    lines: list[str] = []
+    for f, suppressed in [(f, False) for f in new] + [(f, True) for f in frozen]:
+        cmd = "notice" if suppressed else _GH_COMMAND.get(str(f.severity), "warning")
+        title = f.rule + (" (baselined)" if suppressed else "")
+        props = (
+            f"file={_gh_escape(f.path, property_value=True)},"
+            f"line={f.line},col={f.col + 1},"
+            f"title={_gh_escape(title, property_value=True)}"
+        )
+        lines.append(f"::{cmd} {props}::{_gh_escape(f.message)}")
     counts = f"{len(new)} finding(s)"
     if frozen:
         counts += f", {len(frozen)} baselined"

@@ -3,14 +3,40 @@
 from __future__ import annotations
 
 import ast
+import json
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
 from .astutil import attach_parents
+from .cache import AnalysisCache
 from .findings import Finding, sort_findings
 from .registry import Rule, all_rules
 
-__all__ = ["LintConfig", "ModuleContext", "ProjectContext", "run_lint", "find_project_root"]
+__all__ = [
+    "LintConfig",
+    "ModuleContext",
+    "ProjectContext",
+    "run_lint",
+    "find_project_root",
+    "DEFAULT_PROFILES",
+    "DEFAULT_EXCLUDE",
+]
+
+#: Per-directory rule profiles: ``relpath prefix -> disabled rule-id
+#: prefixes``.  The SPMD protocol rules and the kernels-parity rules
+#: describe obligations of the *drivers*; test and benchmark code
+#: exercises the simulator in intentionally-partial ways, so only the
+#: determinism/breakdown families apply there.  Tests additionally
+#: assert exact float values against constructed data on purpose, so
+#: DET003 (float-equality) is off for them.
+DEFAULT_PROFILES: dict[str, tuple[str, ...]] = {
+    "tests/": ("SPMD", "PAR", "DET003"),
+    "benchmarks/": ("SPMD", "PAR"),
+}
+
+#: Paths never linted: rule fixtures are deliberate violations.
+DEFAULT_EXCLUDE: tuple[str, ...] = ("tests/lint/fixtures/",)
 
 
 @dataclass
@@ -25,6 +51,26 @@ class LintConfig:
     project_root: Path | None = None
     #: Directory holding the kernels parity tests, relative to the root.
     kernels_test_dir: str = "tests/kernels"
+    #: ``relpath prefix -> disabled rule-id prefixes`` (see module docs).
+    profiles: dict[str, tuple[str, ...]] = field(
+        default_factory=lambda: dict(DEFAULT_PROFILES)
+    )
+    #: Project-relative path prefixes to skip entirely.
+    exclude: tuple[str, ...] = DEFAULT_EXCLUDE
+    #: Reuse per-module findings from ``.repro-lint-cache/``.
+    use_cache: bool = False
+
+    def signature(self) -> str:
+        """Stable digest input covering everything that affects results."""
+        return json.dumps(
+            {
+                "select": self.select,
+                "ignore": self.ignore,
+                "profiles": {k: list(v) for k, v in sorted(self.profiles.items())},
+                "exclude": list(self.exclude),
+            },
+            sort_keys=True,
+        )
 
 
 @dataclass
@@ -44,6 +90,30 @@ class ProjectContext:
     root: Path
     modules: list[ModuleContext]
     config: LintConfig = field(default_factory=LintConfig)
+
+
+@dataclass
+class LintStats:
+    """Optional per-run instrumentation (``repro lint --stats``)."""
+
+    rule_seconds: dict[str, float] = field(default_factory=dict)
+    files: int = 0
+    cached_files: int = 0
+    total_seconds: float = 0.0
+
+    def add(self, rule_id: str, seconds: float) -> None:
+        self.rule_seconds[rule_id] = self.rule_seconds.get(rule_id, 0.0) + seconds
+
+    def render(self) -> str:
+        lines = [
+            f"{self.files} file(s) analyzed, {self.cached_files} from cache, "
+            f"{self.total_seconds:.3f}s total"
+        ]
+        for rid, sec in sorted(
+            self.rule_seconds.items(), key=lambda kv: -kv[1]
+        ):
+            lines.append(f"  {rid:<8} {sec * 1000:8.1f} ms")
+        return "\n".join(lines)
 
 
 def find_project_root(start: Path) -> Path:
@@ -93,20 +163,101 @@ def _active_rules(config: LintConfig) -> list[Rule]:
     return rules
 
 
-def run_lint(paths: list[Path | str], config: LintConfig | None = None) -> list[Finding]:
-    """Lint ``paths`` (files or directories) and return sorted findings."""
+def _disabled_prefixes(relpath: str, config: LintConfig) -> tuple[str, ...]:
+    for prefix, disabled in config.profiles.items():
+        if relpath.startswith(prefix):
+            return disabled
+    return ()
+
+
+def _rule_allowed(rule_id: str, relpath: str, config: LintConfig) -> bool:
+    return not any(
+        rule_id.startswith(p) for p in _disabled_prefixes(relpath, config)
+    )
+
+
+def _excluded(relpath: str, config: LintConfig) -> bool:
+    return any(relpath.startswith(p) for p in config.exclude)
+
+
+def run_lint(
+    paths: list[Path | str],
+    config: LintConfig | None = None,
+    stats: LintStats | None = None,
+) -> list[Finding]:
+    """Lint ``paths`` (files or directories) and return sorted findings.
+
+    Per-module rules honour the directory profiles and the incremental
+    cache; project rules always run, with their findings filtered
+    through the same profiles afterwards.
+    """
     config = config or LintConfig()
+    t_start = time.perf_counter()
     path_objs = [Path(p) for p in paths]
     root = config.project_root or (
         find_project_root(path_objs[0]) if path_objs else Path.cwd()
     )
+    # a file named explicitly is always linted with every rule — the
+    # exclude list and directory profiles govern *discovered* files only
+    explicit = {p.resolve() for p in path_objs if p.is_file()}
     modules = [
-        m for f in collect_files(path_objs) if (m := parse_module(f, root)) is not None
+        m
+        for f in collect_files(path_objs)
+        if (m := parse_module(f, root)) is not None
+        and (f in explicit or not _excluded(m.relpath, config))
     ]
+    explicit_rel = {m.relpath for m in modules if m.path.resolve() in explicit}
     project = ProjectContext(root=root, modules=modules, config=config)
+    rules = _active_rules(config)
+    cache = (
+        AnalysisCache(root, config_sig=config.signature())
+        if config.use_cache
+        else None
+    )
+
     findings: list[Finding] = []
-    for rule in _active_rules(config):
-        for module in modules:
-            findings.extend(rule.check_module(module))
-        findings.extend(rule.check_project(project))
+    for module in modules:
+        if stats is not None:
+            stats.files += 1
+        mod_rules = [
+            r
+            for r in rules
+            if module.relpath in explicit_rel
+            or _rule_allowed(r.id, module.relpath, config)
+        ]
+        key = None
+        if cache is not None:
+            source = "\n".join(module.lines)
+            # explicit files run the full ruleset; key them separately
+            tag = "!" if module.relpath in explicit_rel else ""
+            key = cache.key(module.relpath + tag, source)
+            cached = cache.get(key)
+            if cached is not None:
+                findings.extend(cached)
+                if stats is not None:
+                    stats.cached_files += 1
+                continue
+        mod_findings: list[Finding] = []
+        for rule in mod_rules:
+            t0 = time.perf_counter()
+            mod_findings.extend(rule.check_module(module))
+            if stats is not None:
+                stats.add(rule.id, time.perf_counter() - t0)
+        if cache is not None and key is not None:
+            cache.put(key, mod_findings)
+        findings.extend(mod_findings)
+
+    for rule in rules:
+        t0 = time.perf_counter()
+        project_findings = [
+            f
+            for f in rule.check_project(project)
+            if f.path in explicit_rel or _rule_allowed(f.rule, f.path, config)
+        ]
+        if stats is not None:
+            stats.add(rule.id, time.perf_counter() - t0)
+        findings.extend(project_findings)
+
+    if stats is not None:
+        stats.total_seconds = time.perf_counter() - t_start
     return sort_findings(findings)

@@ -180,7 +180,7 @@ class PivotPolicy:
         extra = ""
         if self.breakdown_tol:
             extra += f", breakdown_tol={self.breakdown_tol:g}"
-        if self.mode == "shift" and self.shift_scale != 1.0:
+        if self.mode == "shift" and self.shift_scale - 1.0 != 0.0:
             extra += f", shift_scale={self.shift_scale:g}"
         return f"PivotPolicy({self.mode}{extra})"
 

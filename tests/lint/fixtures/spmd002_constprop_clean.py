@@ -1,0 +1,19 @@
+"""SPMD002 FP-reduction twin: rank-named guards that constant-fold.
+
+The syntactic rule flagged both collectives (``r`` and ``rank`` appear
+in the conditions); constant propagation pins the guards to one value,
+so every rank evaluates them identically and the upgraded rule
+discharges them.
+"""
+
+
+def warm_start(sim):
+    r = 0
+    if r == 0:
+        sim.barrier()
+
+
+def debug_path(sim, nranks):
+    rank = 3 - 3
+    if rank != 0:
+        sim.allreduce(0.0)

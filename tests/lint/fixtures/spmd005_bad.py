@@ -1,0 +1,20 @@
+"""SPMD005 bad twin: rank taint reaches collective guards via copies.
+
+SPMD002 only sees rank *names* in the condition; both guards here are
+one assignment removed from the rank, so only the taint analysis
+(SPMD005) connects them.
+"""
+
+
+def leader_barrier(sim, rank):
+    leader = rank == 0
+    if leader:
+        sim.barrier()
+
+
+def staged_allreduce(sim, nranks):
+    for r in range(nranks):
+        parity = r % 2
+    is_even = parity == 0
+    if is_even:
+        sim.allreduce(1.0)

@@ -1,0 +1,14 @@
+"""SPMD005 clean twin: collective guards carry no rank-derived value."""
+
+
+def guarded_barrier(sim, tol, residual):
+    converged = residual < tol
+    if converged:
+        sim.barrier()
+
+
+def unconditional(sim, rank):
+    scale = 2.0  # rank is in scope but never flows into the guard
+    ready = scale > 1.0
+    if ready:
+        sim.allreduce(scale)

@@ -1,0 +1,77 @@
+"""Incremental analysis cache: hits, invalidation, config keying."""
+
+from pathlib import Path
+
+from repro.lint import LintConfig, LintStats, run_lint
+from repro.lint.cache import CACHE_DIR_NAME, AnalysisCache, package_signature
+
+
+def _mkproj(tmp_path: Path, body: str = "def f(x):\n    return x == 0.5\n"):
+    (tmp_path / "pyproject.toml").write_text("[project]\nname='x'\n")
+    mod = tmp_path / "mod.py"
+    mod.write_text(body, encoding="utf-8")
+    return mod
+
+
+def _run(mod, tmp_path, **cfg_kwargs):
+    stats = LintStats()
+    config = LintConfig(project_root=tmp_path, use_cache=True, **cfg_kwargs)
+    findings = run_lint([mod], config, stats)
+    return findings, stats
+
+
+def test_second_run_hits_the_cache(tmp_path):
+    mod = _mkproj(tmp_path)
+    first, s1 = _run(mod, tmp_path)
+    second, s2 = _run(mod, tmp_path)
+    assert s1.cached_files == 0 and s2.cached_files == 1
+    assert [f.render() for f in first] == [f.render() for f in second]
+    assert any(f.rule == "DET003" for f in second)  # through the cache
+    assert (tmp_path / CACHE_DIR_NAME).is_dir()
+
+
+def test_source_edit_invalidates(tmp_path):
+    mod = _mkproj(tmp_path)
+    findings, _ = _run(mod, tmp_path)
+    assert findings
+    mod.write_text("def f(x):\n    return x > 0.5\n", encoding="utf-8")
+    findings2, s2 = _run(mod, tmp_path)
+    assert s2.cached_files == 0  # fresh content, fresh analysis
+    assert findings2 == []
+
+
+def test_config_signature_keys_the_entries(tmp_path):
+    mod = _mkproj(tmp_path)
+    det, s1 = _run(mod, tmp_path, select=("DET003",))
+    none, s2 = _run(mod, tmp_path, select=("DET001",))
+    assert s2.cached_files == 0  # different select -> different key space
+    assert det and none == []
+    det2, s3 = _run(mod, tmp_path, select=("DET003",))
+    assert s3.cached_files == 1  # original entries still valid
+    assert [f.render() for f in det2] == [f.render() for f in det]
+
+
+def test_findings_roundtrip_through_the_store(tmp_path):
+    mod = _mkproj(tmp_path)
+    findings, _ = _run(mod, tmp_path)
+    cached, _ = _run(mod, tmp_path)
+    assert cached == findings  # frozen dataclass equality, field by field
+
+
+def test_package_signature_is_stable_and_hexlike():
+    sig1 = package_signature()
+    sig2 = package_signature()
+    assert sig1 == sig2
+    assert isinstance(sig1, str) and len(sig1) >= 8
+    int(sig1, 16)  # raises if not hex
+
+
+def test_cache_prune_bounds_entry_count(tmp_path, monkeypatch):
+    import repro.lint.cache as cache_mod
+
+    monkeypatch.setattr(cache_mod, "_MAX_ENTRIES", 3)
+    cache = AnalysisCache(tmp_path, config_sig="s")
+    for i in range(10):
+        cache.put(cache.key(f"m{i}.py", f"x = {i}\n"), [])
+    entries = list((tmp_path / CACHE_DIR_NAME).glob("*.json"))
+    assert len(entries) <= 3

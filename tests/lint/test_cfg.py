@@ -1,0 +1,161 @@
+"""CFG builder invariants over a gallery of control-flow shapes."""
+
+import ast
+
+import pytest
+
+from repro.lint.flow import build_cfg
+
+SNIPPETS = {
+    "straight": """
+def f(x):
+    a = x + 1
+    b = a * 2
+    return b
+""",
+    "if_else": """
+def f(x):
+    if x > 0:
+        y = 1
+    else:
+        y = 2
+    return y
+""",
+    "if_no_else": """
+def f(x):
+    y = 0
+    if x:
+        y = 1
+    return y
+""",
+    "while_break_continue": """
+def f(n):
+    i = 0
+    while True:
+        i = i + 1
+        if i > n:
+            break
+        if i % 2:
+            continue
+        n = n - 1
+    return i
+""",
+    "for_else": """
+def f(items):
+    for x in items:
+        if x < 0:
+            break
+    else:
+        x = 0
+    return x
+""",
+    "try_except_finally": """
+def f(x):
+    try:
+        y = 1 / x
+    except ZeroDivisionError:
+        y = 0
+    finally:
+        x = 0
+    return y
+""",
+    "early_return": """
+def f(x):
+    if x is None:
+        return 0
+    return x + 1
+""",
+    "nested_loops": """
+def f(grid):
+    total = 0
+    for row in grid:
+        for v in row:
+            total = total + v
+    return total
+""",
+}
+
+
+def _func(code: str) -> ast.FunctionDef:
+    return ast.parse(code).body[0]
+
+
+def _expected_stmts(body: list[ast.stmt]) -> list[ast.stmt]:
+    """Statements the builder places into blocks: everything except
+    ``Try`` nodes (whose parts are threaded directly) and the bodies of
+    nested function/class definitions (opaque at this level)."""
+    out: list[ast.stmt] = []
+    for s in body:
+        if isinstance(s, ast.Try):
+            out.extend(_expected_stmts(s.body))
+            out.extend(_expected_stmts(s.orelse))
+            for h in s.handlers:
+                out.extend(_expected_stmts(h.body))
+            out.extend(_expected_stmts(s.finalbody))
+            continue
+        out.append(s)
+        if isinstance(s, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            continue
+        for attr in ("body", "orelse", "finalbody"):
+            out.extend(_expected_stmts(getattr(s, attr, [])))
+    return out
+
+
+@pytest.mark.parametrize("name", sorted(SNIPPETS))
+def test_every_statement_in_exactly_one_block(name):
+    func = _func(SNIPPETS[name])
+    cfg = build_cfg(func)
+    placed = [id(s) for b in cfg.blocks.values() for s in b.stmts]
+    expected = [id(s) for s in _expected_stmts(func.body)]
+    assert sorted(placed) == sorted(expected)
+    assert len(placed) == len(set(placed))
+
+
+@pytest.mark.parametrize("name", sorted(SNIPPETS))
+def test_succ_pred_consistency(name):
+    cfg = build_cfg(_func(SNIPPETS[name]))
+    for b in cfg.blocks.values():
+        for s in b.succs:
+            assert b.id in cfg.blocks[s].preds, (b, cfg.blocks[s])
+        for p in b.preds:
+            assert b.id in cfg.blocks[p].succs, (b, cfg.blocks[p])
+
+
+@pytest.mark.parametrize("name", sorted(SNIPPETS))
+def test_exit_is_terminal_and_entry_starts_rpo(name):
+    cfg = build_cfg(_func(SNIPPETS[name]))
+    assert cfg.blocks[cfg.exit].succs == []
+    order = cfg.rpo()
+    assert order[0] == cfg.entry
+    assert len(order) == len(set(order))
+    assert set(order) <= set(cfg.blocks)
+
+
+@pytest.mark.parametrize("name", ["while_break_continue", "for_else", "nested_loops"])
+def test_loops_have_back_edges(name):
+    func = _func(SNIPPETS[name])
+    cfg = build_cfg(func)
+    headers = [
+        b
+        for b in cfg.blocks.values()
+        if any(isinstance(s, (ast.For, ast.While)) for s in b.stmts)
+    ]
+    assert headers
+    for h in headers:
+        # body blocks are created after the header, so a back edge shows
+        # up as an in-edge from a higher-numbered block
+        assert any(p > h.id for p in h.preds), h
+
+
+def test_block_of_finds_the_statement():
+    func = _func(SNIPPETS["if_else"])
+    cfg = build_cfg(func)
+    ret = func.body[-1]
+    block = cfg.block_of(ret)
+    assert block is not None
+    assert any(s is ret for s in block.stmts)
+
+
+def test_build_cfg_rejects_non_body_nodes():
+    with pytest.raises(TypeError):
+        build_cfg(ast.parse("x = 1").body[0].targets[0])

@@ -67,12 +67,130 @@ def test_json_format(capsys):
 def test_sarif_to_file(tmp_path, capsys):
     out_file = tmp_path / "report.sarif"
     rc = main(["lint", str(FIXTURES / "spmd001_bad.py"), "--no-baseline",
+               "--select", "SPMD001",
                "--format", "sarif", "-o", str(out_file)])
     assert rc == 1
     assert "wrote sarif report" in capsys.readouterr().out
     doc = json.loads(out_file.read_text())
     assert doc["version"] == "2.1.0"
     assert len(doc["runs"][0]["results"]) == 2
+
+
+def test_github_format_emits_workflow_commands(capsys):
+    rc = main(["lint", str(FIXTURES / "det003_bad.py"), "--no-baseline",
+               "--format", "github"])
+    out = capsys.readouterr().out
+    assert rc == 1
+    lines = [ln for ln in out.splitlines() if ln.startswith("::")]
+    assert len(lines) == 2
+    for ln in lines:
+        assert ln.startswith("::warning file=")
+        assert "title=DET003" in ln
+    assert "2 finding(s)" in out
+
+
+def test_github_format_escapes_message_payload(capsys):
+    rc = main(["lint", str(FIXTURES / "spmd001_bad.py"), "--no-baseline",
+               "--select", "SPMD001", "--format", "github"])
+    out = capsys.readouterr().out
+    assert rc == 1
+    # tag messages contain commas/colons; they must survive as data, and
+    # the property fields must never carry a raw newline
+    assert "::error file=" in out
+    for ln in out.splitlines():
+        if ln.startswith("::"):
+            props = ln.split("::", 2)[1]
+            assert "\n" not in props
+
+
+def test_stats_flag_reports_rule_timings(capsys):
+    rc = main(["lint", str(FIXTURES / "det003_bad.py"), "--no-baseline",
+               "--stats", "--no-cache"])
+    err = capsys.readouterr().err
+    assert rc == 1
+    assert "file(s) analyzed" in err
+    assert "DET003" in err
+
+
+def test_verify_protocol_certifies_the_repo(capsys):
+    rc = main(["lint", "--verify-protocol", str(REPO / "src" / "repro")])
+    out = capsys.readouterr().out
+    assert rc == 0, out
+    assert "CERTIFIED" in out and "FAILED" not in out
+    assert "certified" in out.splitlines()[-1]
+
+
+def test_verify_protocol_fails_on_deadlock_fixture(capsys):
+    rc = main(["lint", "--verify-protocol", str(FIXTURES / "deadlock_bad.py")])
+    out = capsys.readouterr().out
+    assert rc == 1
+    assert "FAILED" in out
+    assert "[deadlock]" in out
+
+
+class TestFixCli:
+    def _proj(self, tmp_path):
+        work = tmp_path / "proj"
+        (work / "src").mkdir(parents=True)
+        (work / "pyproject.toml").write_text("[project]\nname='x'\n")
+        mod = work / "src" / "mod.py"
+        shutil.copyfile(FIXTURES / "det001_bad.py", mod)
+        return work, mod
+
+    def test_fix_diff_is_check_only(self, tmp_path, capsys):
+        work, mod = self._proj(tmp_path)
+        before = mod.read_text()
+        rc = main(["lint", str(mod), "--fix", "--diff"])
+        captured = capsys.readouterr()
+        assert rc == 1  # pending fixes -> pre-commit failure
+        assert mod.read_text() == before  # nothing written
+        assert "+++ b/src/mod.py" in captured.out
+        assert "default_rng(0)" in captured.out
+
+    def test_fix_applies_and_reports(self, tmp_path, capsys):
+        work, mod = self._proj(tmp_path)
+        rc = main(["lint", str(mod), "--fix"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "default_rng(0)" in mod.read_text()
+        assert "applied 1 fix(es) in 1 file(s)" in out
+        # second run: nothing left to do, still exit 0
+        rc = main(["lint", str(mod), "--fix", "--diff"])
+        assert rc == 0
+        assert "0 fix(es)" in capsys.readouterr().err
+
+    def test_repo_fix_diff_is_clean(self, capsys):
+        """Acceptance: --fix is a no-op on the checked-in tree."""
+        rc = main(["lint", str(REPO / "src" / "repro"), "--fix", "--diff"])
+        captured = capsys.readouterr()
+        assert rc == 0, captured.out
+        assert "0 fix(es) in 0 file(s)" in captured.err
+
+
+class TestDirectoryProfiles:
+    def test_spmd_rules_off_under_tests_dir(self, tmp_path, capsys):
+        work = tmp_path / "proj"
+        (work / "tests").mkdir(parents=True)
+        (work / "pyproject.toml").write_text("[project]\nname='x'\n")
+        mod = work / "tests" / "helper.py"
+        shutil.copyfile(FIXTURES / "spmd002_bad.py", mod)
+        # directory discovery applies the tests/ profile -> no findings
+        rc = main(["lint", str(work / "tests"), "--no-baseline"])
+        assert rc == 0
+        capsys.readouterr()
+        # naming the file explicitly bypasses the profile (ruff convention)
+        rc = main(["lint", str(mod), "--no-baseline"])
+        assert rc == 1
+        assert "SPMD002" in capsys.readouterr().out
+
+    def test_det_rules_still_apply_under_tests_dir(self, tmp_path, capsys):
+        work = tmp_path / "proj"
+        (work / "tests").mkdir(parents=True)
+        (work / "pyproject.toml").write_text("[project]\nname='x'\n")
+        shutil.copyfile(FIXTURES / "det001_bad.py", work / "tests" / "helper.py")
+        rc = main(["lint", str(work / "tests"), "--no-baseline"])
+        assert rc == 1
+        assert "DET001" in capsys.readouterr().out
 
 
 class TestBaselineWorkflow:

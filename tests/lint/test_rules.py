@@ -24,6 +24,16 @@ SNIPPET_CASES = {
     "DET004": ("det004_bad.py", 2, "det004_clean.py"),
     "PAR002": ("par002_bad.py", 2, "par002_clean.py"),
     "BRK001": ("brk001_bad.py", 2, "brk001_clean.py"),
+    "SPMD004": ("deadlock_bad.py", 3, "deadlock_clean.py"),
+    "SPMD005": ("spmd005_bad.py", 2, "spmd005_clean.py"),
+    "DET005": ("det005_bad.py", 2, "det005_clean.py"),
+}
+
+#: rule id -> fixture the *syntactic* rule used to flag, discharged by
+#: the dataflow upgrade (constant folding / reaching-def aliasing).
+DATAFLOW_DISCHARGED = {
+    "SPMD002": "spmd002_constprop_clean.py",
+    "SPMD003": "spmd003_alias_clean.py",
 }
 
 
@@ -44,6 +54,12 @@ def test_bad_fixture_is_flagged(rule):
 def test_clean_twin_passes(rule):
     _bad, _expected, clean = SNIPPET_CASES[rule]
     findings = lint_one(FIXTURES / clean, rule)
+    assert findings == [], [f.render() for f in findings]
+
+
+@pytest.mark.parametrize("rule", sorted(DATAFLOW_DISCHARGED))
+def test_dataflow_discharges_syntactic_false_positive(rule):
+    findings = lint_one(FIXTURES / DATAFLOW_DISCHARGED[rule], rule)
     assert findings == [], [f.render() for f in findings]
 
 
@@ -103,3 +119,15 @@ def test_repo_source_tree_is_lint_clean_modulo_baseline():
     baseline = Baseline.load(repo / "lint-baseline.json")
     new, _frozen = baseline.split(findings)
     assert new == [], [f.render() for f in new]
+
+
+def test_repo_baseline_is_empty():
+    """Stronger than the gate above: every historical finding has been
+    fixed, so src/repro is clean *without* any frozen suppression."""
+    from repro.lint import Baseline
+
+    repo = Path(__file__).resolve().parents[2]
+    baseline = Baseline.load(repo / "lint-baseline.json")
+    assert baseline.entries == {}
+    findings = run_lint([repo / "src" / "repro"], LintConfig(project_root=repo))
+    assert findings == [], [f.render() for f in findings]

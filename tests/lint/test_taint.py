@@ -1,0 +1,96 @@
+"""Taint analyses: seeds, propagation through copies, provenance chains."""
+
+import ast
+
+from repro.lint.flow import rank_tainted_names, rng_taint_chains
+
+
+def _func(code: str) -> ast.FunctionDef:
+    return ast.parse(code).body[0]
+
+
+class TestRankTaint:
+    def test_rank_param_seeds_and_propagates_through_copies(self):
+        f = _func(
+            "def f(sim, rank):\n"
+            "    leader = rank == 0\n"
+            "    flag = leader\n"
+            "    other = 1\n"
+        )
+        tainted = rank_tainted_names(f)
+        assert {"rank", "leader", "flag"} <= set(tainted)
+        assert "other" not in tainted
+        assert "sim" not in tainted
+
+    def test_chain_records_every_hop(self):
+        f = _func(
+            "def f(sim, rank):\n"
+            "    leader = rank == 0\n"
+            "    flag = leader\n"
+        )
+        chain = rank_tainted_names(f)["flag"].describe()
+        assert "rank-named parameter" in chain
+        assert "leader" in chain and "flag" in chain
+        # hops render in seed-to-sink order
+        assert chain.index("rank") < chain.index("flag")
+
+    def test_rank_range_loop_target_is_seeded(self):
+        f = _func(
+            "def f(sim, nranks):\n"
+            "    for r in range(nranks):\n"
+            "        parity = r % 2\n"
+        )
+        tainted = rank_tainted_names(f)
+        assert "parity" in tainted
+        assert "iterates over the rank range" in tainted["r"].describe()
+
+    def test_rank_attribute_read_seeds(self):
+        f = _func("def f(sim):\n    me = sim.rank\n    low = me - 1\n")
+        tainted = rank_tainted_names(f)
+        assert {"me", "low"} <= set(tainted)
+        assert "reads .rank" in tainted["me"].describe()
+
+    def test_untainted_function_is_empty(self):
+        f = _func("def f(sim, x):\n    y = x + 1\n")
+        assert rank_tainted_names(f) == {}
+
+
+class TestRngTaint:
+    def test_rng_param_draw_propagates(self):
+        f = _func(
+            "def f(rng, x):\n"
+            "    noise = rng.standard_normal()\n"
+            "    y = x + noise\n"
+        )
+        chains = rng_taint_chains(f)
+        assert {"rng", "noise", "y"} <= set(chains)
+        assert "x" not in chains
+
+    def test_rng_constructor_seeds(self):
+        f = _func(
+            "def f(x):\n"
+            "    g = default_rng(0)\n"
+            "    v = g.uniform(0.0, 1.0)\n"
+        )
+        chains = rng_taint_chains(f)
+        assert {"g", "v"} <= set(chains)
+        assert "constructs RNG" in chains["g"].describe()
+
+    def test_augassign_and_loop_bindings_propagate(self):
+        f = _func(
+            "def f(rng, rows):\n"
+            "    total = 0.0\n"
+            "    total += rng.random()\n"
+            "    for draw in rng.permutation(rows):\n"
+            "        last = draw\n"
+        )
+        chains = rng_taint_chains(f)
+        assert {"total", "draw", "last"} <= set(chains)
+
+    def test_data_only_function_is_clean(self):
+        f = _func(
+            "def f(row, tau):\n"
+            "    kept = [v for v in row if abs(v) >= tau]\n"
+            "    return kept\n"
+        )
+        assert rng_taint_chains(f) == {}
