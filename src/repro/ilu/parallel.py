@@ -94,6 +94,7 @@ def parallel_ilut(
     faults: FaultPlan | None = None,
     checkpoint: bool | None = None,
     backend: str | None = None,
+    copy_payloads: bool = False,
 ) -> ParallelILUResult:
     """Factor ``A`` with parallel ILUT(m, t) on ``nranks`` simulated PEs.
 
@@ -145,6 +146,11 @@ def parallel_ilut(
     backend:
         Kernel backend for the elimination inner loops (bit-identical
         results); ``None`` uses the process default.
+    copy_payloads:
+        Pickle round-trip every simulated message at post time — the
+        serializing-transport debug oracle (see
+        :class:`~repro.machine.Simulator`); results are bit-identical
+        for transport-certified drivers.  Requires ``simulate=True``.
     """
     if isinstance(params, ILUTParams):
         if t_or_nranks is not None:
@@ -175,7 +181,13 @@ def parallel_ilut(
         raise ValueError("faults= requires simulate=True")
     if checkpoint is None:
         checkpoint = faults is not None
-    sim = Simulator(nranks, model, trace=trace, faults=faults) if simulate else None
+    if copy_payloads and not simulate:
+        raise ValueError("copy_payloads=True requires simulate=True")
+    sim = (
+        Simulator(nranks, model, trace=trace, faults=faults, copy_payloads=copy_payloads)
+        if simulate
+        else None
+    )
     engine = EliminationEngine(
         decomp,
         p.fill,

@@ -30,7 +30,7 @@ def _interface_coloring(decomp: DomainDecomposition) -> list[np.ndarray]:
     if iface.size == 0:
         return []
     local_of = np.full(decomp.A.shape[0], -1, dtype=np.int64)
-    local_of[iface] = np.arange(iface.size)
+    local_of[iface] = np.arange(iface.size, dtype=np.int64)
     xadj = np.zeros(iface.size + 1, dtype=np.int64)
     chunks = []
     for idx, v in enumerate(iface):

@@ -99,11 +99,13 @@ def _solve_vectorized(factors, b, sim, tr):
     L, U = factors.L, factors.U
     l_nnz = np.diff(L.indptr)
     u_nnz = np.diff(U.indptr)
-    flops_total = 0.0
+    nranks = sim.nranks if sim is not None else (int(owner.max()) + 1 if owner.size else 1)
+    # Per-rank accumulator instead of a shared nonlocal: every charge is
+    # integer-valued, so the final sum is exact and order-independent.
+    flops_rank = np.zeros(nranks, dtype=np.float64)
 
     def charge(rank: int, fl: float) -> None:
-        nonlocal flops_total
-        flops_total += fl
+        flops_rank[rank] += fl
         if sim is not None:
             sim.compute(rank, fl)
 
@@ -190,7 +192,7 @@ def _solve_vectorized(factors, b, sim, tr):
         x=out,
         modeled_time=sim.elapsed() if sim is not None else None,
         comm=sim.stats() if sim is not None else None,
-        flops=flops_total,
+        flops=float(flops_rank.sum()),
         trace=tr,
         fault_journal=sim.fault_journal if sim is not None else None,
     )
@@ -206,6 +208,7 @@ def parallel_triangular_solve(
     trace: bool = False,
     backend: str | None = None,
     faults: FaultPlan | None = None,
+    copy_payloads: bool = False,
 ) -> TriangularSolveResult:
     """Apply the preconditioner ``M^{-1} b`` with the two-phase schedule.
 
@@ -225,6 +228,10 @@ def parallel_triangular_solve(
     (requires ``simulate=True``); message-level faults surface as
     :class:`~repro.faults.MessageLost` / :class:`~repro.faults.RankFailure`
     and the journal is returned on the result.
+
+    ``copy_payloads=True`` pickle round-trips every simulated message at
+    post time (the serializing-transport debug oracle; requires
+    ``simulate=True``) — results are bit-identical.
     """
     if factors.levels is None:
         raise ValueError(
@@ -243,14 +250,21 @@ def parallel_triangular_solve(
         raise ValueError("trace=True requires simulate=True")
     if faults is not None and not simulate:
         raise ValueError("faults= requires simulate=True")
-    sim = Simulator(nranks, model, trace=trace, faults=faults) if simulate else None
+    if copy_payloads and not simulate:
+        raise ValueError("copy_payloads=True requires simulate=True")
+    sim = (
+        Simulator(nranks, model, trace=trace, faults=faults, copy_payloads=copy_payloads)
+        if simulate
+        else None
+    )
     tr = sim.tracer if sim is not None else None
     L, U = factors.L, factors.U
-    flops_total = 0.0
+    # Per-rank accumulator instead of a shared nonlocal: every charge is
+    # integer-valued, so the final sum is exact and order-independent.
+    flops_rank = np.zeros(nranks, dtype=np.float64)
 
     def charge(rank: int, fl: float) -> None:
-        nonlocal flops_total
-        flops_total += fl
+        flops_rank[rank] += fl
         if sim is not None:
             sim.compute(rank, fl)
 
@@ -357,7 +371,7 @@ def parallel_triangular_solve(
         x=out,
         modeled_time=sim.elapsed() if sim is not None else None,
         comm=sim.stats() if sim is not None else None,
-        flops=flops_total,
+        flops=float(flops_rank.sum()),
         trace=tr,
         fault_journal=sim.fault_journal if sim is not None else None,
     )

@@ -7,7 +7,9 @@ injection, ``sorted(...)`` wrapping, typed-breakdown raises) in place;
 with ``--diff`` it prints the would-be patch instead and exits 1 when
 anything would change (the pre-commit check mode).
 ``--verify-protocol`` runs the symbolic SPMD protocol verifier and
-prints a per-driver certification table.
+prints a per-driver certification table; ``--verify-transport`` does
+the same for the transport-portability analysis (escape/aliasing,
+pickle-safety, hidden state, dtype discipline).
 """
 
 from __future__ import annotations
@@ -104,9 +106,23 @@ def add_lint_parser(sub: "argparse._SubParsersAction") -> argparse.ArgumentParse
         help="symbolically verify the SPMD drivers deadlock-free (ranks 2-4)",
     )
     p.add_argument(
+        "--verify-transport",
+        action="store_true",
+        help=(
+            "certify the SPMD drivers transport-portable (escape/aliasing, "
+            "pickle-safety, hidden state, dtype discipline)"
+        ),
+    )
+    p.add_argument(
         "--stats",
         action="store_true",
         help="print per-rule timing and cache statistics to stderr",
+    )
+    p.add_argument(
+        "--stats-json",
+        default=None,
+        metavar="FILE",
+        help="also write the timing/cache statistics as JSON to FILE",
     )
     p.add_argument(
         "--no-cache",
@@ -243,6 +259,45 @@ def _cmd_verify_protocol(paths: list[Path], root: Path) -> int:
     return 0 if all_ok else 1
 
 
+def _cmd_verify_transport(paths: list[Path], root: Path) -> int:
+    from .flow import verify_transport
+
+    config = LintConfig(project_root=root)
+    explicit = {p.resolve() for p in paths if p.is_file()}
+    modules = [
+        m
+        for f in collect_files(paths)
+        if (m := parse_module(f, root)) is not None
+        and (
+            f in explicit
+            or not any(m.relpath.startswith(p) for p in config.exclude)
+        )
+    ]
+    reports = verify_transport(modules)
+    if not reports:
+        print("no drivers found to verify")
+        return 1
+    all_ok = True
+    for r in reports:
+        status = "CERTIFIED" if r.certified else "FAILED"
+        print(
+            f"{status:<9} {r.module}::{r.qualname}  "
+            f"functions={r.functions} payloads={r.payloads}"
+        )
+        for p in r.problems:
+            print(
+                f"  {p.rule} [{p.kind}] {p.module}:{p.line} "
+                f"in {p.function}: {p.message}"
+            )
+            all_ok = False
+        all_ok = all_ok and r.certified
+    print(
+        f"{sum(1 for r in reports if r.certified)}/{len(reports)} driver(s) certified "
+        "transport-portable"
+    )
+    return 0 if all_ok else 1
+
+
 def cmd_lint(args: argparse.Namespace) -> int:
     config = LintConfig(
         select=tuple(s for s in args.select.split(",") if s),
@@ -264,6 +319,8 @@ def cmd_lint(args: argparse.Namespace) -> int:
 
     if args.verify_protocol:
         return _cmd_verify_protocol(paths, root)
+    if args.verify_transport:
+        return _cmd_verify_transport(paths, root)
     if args.fix:
         return _cmd_fix(args, paths, root)
 
@@ -273,10 +330,13 @@ def cmd_lint(args: argparse.Namespace) -> int:
             print("0 finding(s)")
             return 0
 
-    stats = LintStats() if args.stats else None
+    stats = LintStats() if (args.stats or args.stats_json) else None
     findings = run_lint(paths, config, stats)
     if stats is not None:
-        print(stats.render(), file=sys.stderr)
+        if args.stats:
+            print(stats.render(), file=sys.stderr)
+        if args.stats_json:
+            Path(args.stats_json).write_text(stats.to_json() + "\n", encoding="utf-8")
 
     baseline_path = Path(args.baseline) if args.baseline else root / DEFAULT_BASELINE
     if args.write_baseline:

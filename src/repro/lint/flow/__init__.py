@@ -32,8 +32,15 @@ from .dataflow import (
     constant_env_at,
     eval_const_expr,
 )
+from .escape import (
+    TransportProblem,
+    TransportReport,
+    analyze_transport,
+    verify_transport,
+)
 from .protocol import DRIVERS, ProtocolProblem, ProtocolReport, verify_drivers, verify_function
-from .summary import CommOp, FunctionSummary, summarize_function
+from .pytypes import AbsType, infer_expr, infer_types, is_pickle_safe, unsafe_reason
+from .summary import CommOp, FunctionSummary, payload_exprs, summarize_function
 from .taint import TaintChain, rank_tainted_names, rng_taint_chains
 
 __all__ = [
@@ -60,4 +67,14 @@ __all__ = [
     "TaintChain",
     "rank_tainted_names",
     "rng_taint_chains",
+    "TransportProblem",
+    "TransportReport",
+    "analyze_transport",
+    "verify_transport",
+    "AbsType",
+    "infer_expr",
+    "infer_types",
+    "is_pickle_safe",
+    "unsafe_reason",
+    "payload_exprs",
 ]

@@ -63,6 +63,23 @@ def _dotted_module(relpath: str) -> str:
     return ".".join(parts)
 
 
+_MUTABLE_CTORS = frozenset(
+    {"list", "dict", "set", "defaultdict", "OrderedDict", "Counter", "deque"}
+)
+
+
+def _is_mutable_value(expr: ast.expr) -> bool:
+    """Module-level values whose in-place mutation TRN003 tracks."""
+    if isinstance(expr, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(expr, ast.Call):
+        name = expr.func.attr if isinstance(expr.func, ast.Attribute) else (
+            expr.func.id if isinstance(expr.func, ast.Name) else ""
+        )
+        return name in _MUTABLE_CTORS
+    return False
+
+
 def _attr_chain(node: ast.expr) -> str:
     parts: list[str] = []
     cur = node
@@ -84,6 +101,9 @@ class _ModuleInfo:
     #: local name -> (defining module dotted name, remote name | None).
     #: remote None means the name *is* the module (``import x.y as z``).
     imports: dict[str, tuple[str, str | None]] = field(default_factory=dict)
+    #: Module-level names bound to mutable containers (list/dict/set
+    #: displays or constructor calls) — the TRN003 mutation targets.
+    mutable_globals: frozenset[str] = frozenset()
 
 
 class CallGraph:
@@ -97,6 +117,14 @@ class CallGraph:
 
     def add_module(self, relpath: str, tree: ast.Module) -> None:
         info = _ModuleInfo(relpath=relpath, dotted=_dotted_module(relpath))
+        is_pkg = relpath.replace("\\", "/").endswith("/__init__.py")
+        info.mutable_globals = frozenset(
+            t.id
+            for node in tree.body
+            if isinstance(node, ast.Assign) and _is_mutable_value(node.value)
+            for t in node.targets
+            if isinstance(t, ast.Name)
+        )
         for node in tree.body:
             if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
                 info.functions[node.name] = FunctionDecl(
@@ -125,7 +153,7 @@ class CallGraph:
                     target = alias.name if alias.asname else alias.name.split(".")[0]
                     info.imports[local] = (target, None)
             elif isinstance(node, ast.ImportFrom):
-                base = self._resolve_relative(info.dotted, node)
+                base = self._resolve_relative(info.dotted, node, is_pkg=is_pkg)
                 for alias in node.names:
                     if alias.name == "*":
                         continue
@@ -134,13 +162,19 @@ class CallGraph:
         self._by_relpath[relpath] = info
 
     @staticmethod
-    def _resolve_relative(dotted: str, node: ast.ImportFrom) -> str:
+    def _resolve_relative(
+        dotted: str, node: ast.ImportFrom, *, is_pkg: bool = False
+    ) -> str:
         if node.level == 0:
             return node.module or ""
         parts = dotted.split(".")
-        # level 1 = current package; the module path includes the leaf
-        # module name, so strip `level` components.
-        parts = parts[: max(0, len(parts) - node.level)]
+        # level 1 = current package.  A plain module's dotted path ends
+        # with its own leaf name, so strip `level` components; a package
+        # ``__init__``'s dotted path *is* the current package already,
+        # so strip one fewer (``from .kway import ...`` inside
+        # ``repro/partition/__init__.py`` stays in ``repro.partition``).
+        drop = node.level - 1 if is_pkg else node.level
+        parts = parts[: max(0, len(parts) - drop)]
         if node.module:
             parts += node.module.split(".")
         return ".".join(parts)
@@ -149,6 +183,11 @@ class CallGraph:
 
     def module(self, relpath: str) -> bool:
         return relpath in self._by_relpath
+
+    def mutable_globals(self, relpath: str) -> frozenset[str]:
+        """Module-level mutable-container names of ``relpath``."""
+        info = self._by_relpath.get(relpath)
+        return info.mutable_globals if info is not None else frozenset()
 
     def functions(self) -> list[FunctionDecl]:
         out: list[FunctionDecl] = []

@@ -39,6 +39,8 @@ __all__ = [
     "eval_const_expr",
     "constant_env_at",
     "assigned_names",
+    "stmt_mutations",
+    "statements_after",
 ]
 
 
@@ -85,6 +87,109 @@ def assigned_names(stmt: ast.stmt) -> list[str]:
             out.append((alias.asname or alias.name).split(".")[0])
     elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
         out.append(stmt.name)
+    return out
+
+
+#: Method names that mutate their receiver in place (list/dict/set and
+#: ndarray vocabulary).  ``sort``/``pop`` are deliberately included even
+#: though some receivers return values — the receiver changes either way.
+_MUTATOR_METHODS = frozenset(
+    {
+        "append", "extend", "insert", "remove", "pop", "clear", "sort",
+        "reverse", "update", "add", "discard", "setdefault", "popitem",
+        "fill", "resize", "put", "itemset", "partition_inplace",
+    }
+)
+
+
+def stmt_mutations(stmt: ast.stmt) -> list[tuple[str, str, int]]:
+    """In-place mutations ``stmt`` performs, as ``(name, how, line)``.
+
+    Covers subscript/attribute assignment and aug-assignment rooted at a
+    bare name (``x[i] = v``, ``x.field += v``), aug-assignment of the
+    name itself (``x += v`` — a rebind for scalars but an in-place
+    ``__iadd__`` for ndarrays/lists; callers filter by inferred type),
+    and mutator method calls (``x.append(v)``, ``x.fill(0)``).  Plain
+    rebinding (``x = v``) is *not* a mutation: the old object — the one
+    a transport would already have serialized — is unaffected.
+    """
+    out: list[tuple[str, str, int]] = []
+
+    def root(node: ast.expr) -> ast.expr:
+        while isinstance(node, (ast.Subscript, ast.Attribute)):
+            node = node.value
+        return node
+
+    def record_target(target: ast.expr, how: str, line: int) -> None:
+        if isinstance(target, (ast.Subscript, ast.Attribute)):
+            base = root(target)
+            if isinstance(base, ast.Name):
+                out.append((base.id, how, line))
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                record_target(elt, how, line)
+
+    for node in ast.walk(stmt):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue  # nested scopes are analysed on their own
+        if isinstance(node, ast.Assign):
+            for t in node.targets:
+                record_target(t, "element/attribute assignment", node.lineno)
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            if isinstance(node.target, ast.Name) and isinstance(node, ast.AugAssign):
+                out.append((node.target.id, "augmented assignment", node.lineno))
+            else:
+                record_target(node.target, "element/attribute assignment", node.lineno)
+        elif isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            if node.func.attr in _MUTATOR_METHODS:
+                base = root(node.func.value)
+                if isinstance(base, ast.Name):
+                    out.append(
+                        (base.id, f".{node.func.attr}() call", node.lineno)
+                    )
+        elif isinstance(node, ast.Delete):
+            for t in node.targets:
+                record_target(t, "element deletion", node.lineno)
+    return out
+
+
+def statements_after(cfg: CFG, stmt: ast.stmt) -> list[ast.stmt]:
+    """Every statement that may execute *after* ``stmt`` completes.
+
+    Forward CFG reachability: the remainder of ``stmt``'s block plus
+    every statement of every transitively reachable successor block.
+    Loop back-edges make the loop body (including ``stmt`` itself)
+    reachable again — which is exactly right for the aliasing rule: a
+    mutation earlier in a loop body still happens *after* a send later
+    in the same body, one iteration on.
+    """
+    block = cfg.block_of(stmt)
+    if block is None:
+        return []
+    reached: set[int] = set()
+    work = list(block.succs)
+    while work:
+        bid = work.pop()
+        if bid in reached:
+            continue
+        reached.add(bid)
+        work.extend(cfg.blocks[bid].succs)
+    out: list[ast.stmt] = []
+    tail = False
+    for s in block.stmts:
+        if tail:
+            out.append(s)
+        if s is stmt:
+            tail = True
+    for bid in sorted(reached):
+        if bid == block.id:
+            # the block loops back to itself: its head re-executes
+            for s in block.stmts:
+                out.append(s)
+                if s is stmt:
+                    break
+            continue
+        out.extend(cfg.blocks[bid].stmts)
     return out
 
 

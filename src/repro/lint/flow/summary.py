@@ -35,9 +35,14 @@ from dataclasses import dataclass, field
 
 from ..astutil import call_name
 
-__all__ = ["CommOp", "FunctionSummary", "summarize_function"]
+__all__ = ["CommOp", "FunctionSummary", "summarize_function", "payload_exprs"]
 
 _COLLECTIVES = ("barrier", "allreduce", "allgather")
+
+#: Positional index of the payload in each posting call's signature
+#: (``send(src, dst, payload, nwords)``, ``exchange(messages)``,
+#: ``allgather(values)``).
+_PAYLOAD_ARG = {"send": 2, "exchange": 0, "allgather": 0}
 
 #: ``(src, dst, tag)`` positional argument indices per call kind, after
 #: the receiver object (``sim.send`` → args are positional from 0).
@@ -60,6 +65,9 @@ class CommOp:
     src: ast.expr | None = None
     dst: ast.expr | None = None
     tag: ast.expr | None = None
+    #: send/exchange/allgather: the expression a transport would
+    #: serialize (None for drains and payload-less calls).
+    payload: ast.expr | None = None
     #: collective: which one.  call: resolved lazily by the executor.
     name: str = ""
     call: ast.Call | None = None
@@ -143,7 +151,46 @@ def _p2p_op(call: ast.Call, kind: str) -> CommOp:
     if tag is None and len(call.args) > tag_i:
         tag = call.args[tag_i]
     out_kind = "recv" if kind == "recv_helper" else kind
-    return CommOp(kind=out_kind, node=call, src=src, dst=dst, tag=tag)
+    payloads = payload_exprs(call) if kind == "send" else []
+    return CommOp(
+        kind=out_kind,
+        node=call,
+        src=src,
+        dst=dst,
+        tag=tag,
+        payload=payloads[0] if payloads else None,
+    )
+
+
+def payload_exprs(call: ast.Call) -> list[ast.expr]:
+    """The expression(s) a transport would serialize at a posting call.
+
+    ``send`` contributes its payload argument; ``exchange`` over a list
+    literal contributes the payload slot of each message tuple (a
+    non-literal argument contributes the whole expression — the list
+    *object* is what a reference-passing transport aliases);
+    ``allgather`` contributes its values argument the same way.
+    """
+    name = call_name(call)
+    pos = _PAYLOAD_ARG.get(name)
+    if pos is None:
+        return []
+    expr = call.args[pos] if len(call.args) > pos else _kw(
+        call, "payload" if name == "send" else ("messages" if name == "exchange" else "values")
+    )
+    if expr is None:
+        return []
+    if name == "send":
+        return [expr]
+    if isinstance(expr, (ast.List, ast.Tuple)):
+        out: list[ast.expr] = []
+        for elt in expr.elts:
+            if name == "exchange" and isinstance(elt, ast.Tuple) and len(elt.elts) >= 3:
+                out.append(elt.elts[2])
+            elif name == "allgather":
+                out.append(elt)
+        return out
+    return [expr]
 
 
 def _calls_in(stmt: ast.AST, skip: set[int]) -> list[CommOp]:

@@ -24,15 +24,16 @@ __all__ = [
 ]
 
 #: Per-directory rule profiles: ``relpath prefix -> disabled rule-id
-#: prefixes``.  The SPMD protocol rules and the kernels-parity rules
-#: describe obligations of the *drivers*; test and benchmark code
-#: exercises the simulator in intentionally-partial ways, so only the
-#: determinism/breakdown families apply there.  Tests additionally
-#: assert exact float values against constructed data on purpose, so
-#: DET003 (float-equality) is off for them.
+#: prefixes``.  The SPMD protocol rules, the kernels-parity rules, and
+#: the transport-portability rules describe obligations of the
+#: *drivers*; test and benchmark code exercises the simulator in
+#: intentionally-partial ways, so only the determinism/breakdown
+#: families apply there.  Tests additionally assert exact float values
+#: against constructed data on purpose, so DET003 (float-equality) is
+#: off for them.
 DEFAULT_PROFILES: dict[str, tuple[str, ...]] = {
-    "tests/": ("SPMD", "PAR", "DET003"),
-    "benchmarks/": ("SPMD", "PAR"),
+    "tests/": ("SPMD", "PAR", "TRN", "DET003"),
+    "benchmarks/": ("SPMD", "PAR", "TRN"),
 }
 
 #: Paths never linted: rule fixtures are deliberate violations.
@@ -114,6 +115,22 @@ class LintStats:
         ):
             lines.append(f"  {rid:<8} {sec * 1000:8.1f} ms")
         return "\n".join(lines)
+
+    def to_json(self) -> str:
+        """Machine-readable form for the CI timing artifact."""
+        return json.dumps(
+            {
+                "files": self.files,
+                "cached_files": self.cached_files,
+                "total_seconds": round(self.total_seconds, 6),
+                "rule_seconds": {
+                    rid: round(sec, 6)
+                    for rid, sec in sorted(self.rule_seconds.items())
+                },
+            },
+            indent=2,
+            sort_keys=True,
+        )
 
 
 def find_project_root(start: Path) -> Path:

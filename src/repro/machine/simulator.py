@@ -64,6 +64,7 @@ path pays nothing beyond a ``None`` check per communication call.
 
 from __future__ import annotations
 
+import pickle
 from collections import defaultdict, deque
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Iterable
@@ -135,11 +136,22 @@ class Simulator:
         *,
         trace: bool = False,
         faults: FaultPlan | None = None,
+        copy_payloads: bool = False,
     ) -> None:
         if nranks < 1:
             raise ValueError(f"nranks must be >= 1, got {nranks}")
         self.nranks = int(nranks)
         self.model = model
+        #: Debug oracle for transport portability: with
+        #: ``copy_payloads=True`` every posted payload is pickle
+        #: round-tripped *at post time*, exactly what a serializing
+        #: multi-process transport would do.  Unpicklable payloads fail
+        #: immediately at the offending ``send``, and any
+        #: mutate-after-post aliasing bug shows up as a value divergence
+        #: (the receiver sees the post-time snapshot, not the mutated
+        #: buffer).  Drivers certified by ``repro lint
+        #: --verify-transport`` produce bit-identical results either way.
+        self.copy_payloads = bool(copy_payloads)
         self.clock = np.zeros(self.nranks, dtype=np.float64)
         self._flops = np.zeros(self.nranks, dtype=np.float64)
         self._busy = np.zeros(self.nranks, dtype=np.float64)
@@ -227,6 +239,11 @@ class Simulator:
         dst = self._check_rank(dst)
         if nwords < 0:
             raise ValueError("nwords must be non-negative")
+        if self.copy_payloads and payload is not None:
+            # serialize at post time, before fault effects — a real
+            # transport corrupts/duplicates the serialized bytes, not
+            # the sender's live object
+            payload = pickle.loads(pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL))
         self._guard_rank(src)
         attached = self.tracer.on_send(src) if self.tracer is not None else None
         if src == dst:

@@ -34,7 +34,11 @@ def random_diag_dominant(
     cols_acc: list[np.ndarray] = []
     vals_acc: list[np.ndarray] = []
     for i in range(n):
-        choices = rng.choice(n - 1, size=row_nnz, replace=False) if row_nnz else np.empty(0, int)
+        choices = (
+            rng.choice(n - 1, size=row_nnz, replace=False)
+            if row_nnz
+            else np.empty(0, np.int64)
+        )
         cols = np.where(choices >= i, choices + 1, choices).astype(np.int64)
         vals = rng.uniform(-1.0, 1.0, size=row_nnz)
         rows_acc.append(np.full(row_nnz, i, dtype=np.int64))

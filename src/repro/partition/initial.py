@@ -10,6 +10,7 @@ stage of the multilevel k-way algorithm the paper relies on.
 from __future__ import annotations
 
 import heapq
+from itertools import count
 
 import numpy as np
 
@@ -38,12 +39,10 @@ def greedy_graph_growing(
         raise ValueError("seed vertex is not eligible")
     gain = np.zeros(n, dtype=np.float64)
     heap: list[tuple[float, int]] = []
-    counter = 0
+    tiebreak = count()
 
     def push(v: int) -> None:
-        nonlocal counter
-        heapq.heappush(heap, (-gain[v], counter, v))
-        counter += 1
+        heapq.heappush(heap, (-gain[v], next(tiebreak), v))
 
     region[seed_vertex] = True
     weight = float(graph.vwgt[seed_vertex])

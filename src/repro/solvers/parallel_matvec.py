@@ -50,6 +50,7 @@ def parallel_matvec(
     trace: bool = False,
     backend: str | None = None,
     faults: FaultPlan | None = None,
+    copy_payloads: bool = False,
 ) -> MatvecResult:
     """Compute ``y = A @ x`` with halo exchange + local compute.
 
@@ -66,6 +67,10 @@ def parallel_matvec(
     (requires ``simulate=True``); injected message faults surface as
     :class:`~repro.faults.MessageLost` / :class:`~repro.faults.RankFailure`
     and the journal is returned on the result.
+
+    ``copy_payloads=True`` pickle round-trips every simulated message at
+    post time (the serializing-transport debug oracle; requires
+    ``simulate=True``) — results are bit-identical.
     """
     x = np.asarray(x, dtype=np.float64)
     n = A.shape[0]
@@ -75,8 +80,10 @@ def parallel_matvec(
         raise ValueError("trace=True requires simulate=True")
     if faults is not None and not simulate:
         raise ValueError("faults= requires simulate=True")
+    if copy_payloads and not simulate:
+        raise ValueError("copy_payloads=True requires simulate=True")
     sim = (
-        Simulator(decomp.nranks, model, trace=trace, faults=faults)
+        Simulator(decomp.nranks, model, trace=trace, faults=faults, copy_payloads=copy_payloads)
         if simulate
         else None
     )

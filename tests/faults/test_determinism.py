@@ -23,7 +23,7 @@ PLAN_CASES = {
 }
 
 
-def factor(plan, backend):
+def factor(plan, backend, copy_payloads=False):
     A = poisson2d(12)
     return parallel_ilut(
         A,
@@ -32,6 +32,7 @@ def factor(plan, backend):
         seed=0,
         faults=plan,
         backend=backend,
+        copy_payloads=copy_payloads,
     )
 
 
@@ -65,6 +66,20 @@ def test_journal_and_factors_agree_across_backends(name):
     assert_same_factors(ref, vec)
     assert ref.modeled_time == vec.modeled_time
     assert ref.recoveries == vec.recoveries
+
+
+@pytest.mark.parametrize("name", sorted(PLAN_CASES))
+def test_copy_payloads_oracle_is_bit_identical(name):
+    """The serializing-transport oracle: pickling every message at post
+    time must not change the journal, the factors or the clock — the
+    drivers are certified free of aliased/unsafe payloads."""
+    plan = PLAN_CASES[name]
+    plain = factor(plan, "reference")
+    oracle = factor(plan, "reference", copy_payloads=True)
+    assert plain.fault_journal.signature() == oracle.fault_journal.signature()
+    assert_same_factors(plain, oracle)
+    assert plain.modeled_time == oracle.modeled_time
+    assert plain.recoveries == oracle.recoveries
 
 
 @pytest.mark.parametrize("backend", ["reference", "vectorized"])

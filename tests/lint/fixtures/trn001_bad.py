@@ -1,0 +1,19 @@
+"""TRN001 bad twin: posted payloads mutated after the post.
+
+``halo_exchange`` mutates the sent buffer directly; ``ring_shift``
+mutates it through an alias.  A reference-passing simulator delivers
+the mutated value, a serializing transport the pre-mutation snapshot.
+"""
+
+
+def halo_exchange(sim, buf, nbr, rank):
+    sim.send(rank, nbr, buf, float(len(buf)), tag="halo")
+    buf[0] = 0.0
+    return sim.recv(rank, nbr, tag="halo")
+
+
+def ring_shift(sim, vals, rank, nranks):
+    msg = vals
+    sim.send(rank, (rank + 1) % nranks, msg, 1.0, tag="ring")
+    vals.append(0)
+    return sim.recv(rank, (rank - 1) % nranks, tag="ring")

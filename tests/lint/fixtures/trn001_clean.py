@@ -1,0 +1,20 @@
+"""TRN001 clean twin: the documented exemptions.
+
+``halo_exchange`` posts a fresh copy, so the later buffer write cannot
+reach the in-flight message; ``counter_sweep`` only rebinds a scalar
+after the post (``+=`` on an int is a rebind, not a mutation of the
+sent object).
+"""
+
+
+def halo_exchange(sim, buf, nbr, rank):
+    sim.send(rank, nbr, buf.copy(), float(len(buf)), tag="halo")
+    buf[0] = 0.0
+    return sim.recv(rank, nbr, tag="halo")
+
+
+def counter_sweep(sim, vals, rank, nranks):
+    total = 0
+    sim.send(rank, (rank + 1) % nranks, vals, 1.0, tag="ring")
+    total += 1
+    return total + sim.recv(rank, (rank - 1) % nranks, tag="ring")

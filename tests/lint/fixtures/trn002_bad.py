@@ -1,0 +1,20 @@
+"""TRN002 bad twin: payloads that cannot cross a pickling transport.
+
+A ``threading.Lock`` fails ``pickle.dumps`` outright; a lambda does
+too (and would be a different function object on the remote side even
+if it could be serialized).
+"""
+
+import threading
+
+
+def share_lock(sim, rank, nbr):
+    guard = threading.Lock()
+    sim.send(rank, nbr, guard, 1.0, tag="lock")
+    return sim.recv(rank, nbr, tag="lock")
+
+
+def share_rule(sim, rank, nbr):
+    rule = lambda x: x + 1  # noqa: E731
+    sim.send(rank, nbr, rule, 1.0, tag="fn")
+    return sim.recv(rank, nbr, tag="fn")

@@ -1,0 +1,18 @@
+"""TRN002 clean twin: pickle-safe payloads.
+
+Scalars, strings and containers of them round-trip pickling exactly;
+materializing an iterable with ``list(...)`` before the post is the
+documented fix for generator payloads.
+"""
+
+
+def share_table(sim, rank, nbr, width):
+    table = {"rank": rank, "width": float(width)}
+    sim.send(rank, nbr, table, 1.0, tag="tbl")
+    return sim.recv(rank, nbr, tag="tbl")
+
+
+def share_rows(sim, rank, nbr, rows):
+    packed = list(rows)
+    sim.send(rank, nbr, packed, 1.0, tag="rows")
+    return sim.recv(rank, nbr, tag="rows")

@@ -1,0 +1,21 @@
+"""TRN004 bad twin: dtype drift in rank-executed array code.
+
+``np.arange`` without a dtype is ``int32`` on LLP64 platforms and
+``int64`` elsewhere; an explicit ``float32`` narrows every downstream
+accumulation.  Either way two transports on different platforms stop
+agreeing bit for bit.
+"""
+
+import numpy as np
+
+
+def index_exchange(sim, rank, nbr, n):
+    idx = np.arange(n)
+    sim.send(rank, nbr, idx, float(n), tag="idx")
+    return sim.recv(rank, nbr, tag="idx")
+
+
+def narrow_exchange(sim, rank, nbr, vals):
+    buf = np.asarray(vals, dtype=np.float32)
+    sim.send(rank, nbr, buf, 1.0, tag="v")
+    return sim.recv(rank, nbr, tag="v")

@@ -128,6 +128,35 @@ def test_verify_protocol_fails_on_deadlock_fixture(capsys):
     assert "[deadlock]" in out
 
 
+def test_verify_transport_certifies_the_repo(capsys):
+    rc = main(["lint", "--verify-transport", str(REPO / "src" / "repro")])
+    out = capsys.readouterr().out
+    assert rc == 0, out
+    assert "CERTIFIED" in out and "FAILED" not in out
+    assert "transport-portable" in out.splitlines()[-1]
+
+
+def test_verify_transport_fails_on_aliasing_fixture(capsys):
+    rc = main(["lint", "--verify-transport", str(FIXTURES / "trn001_bad.py")])
+    out = capsys.readouterr().out
+    assert rc == 1
+    assert "FAILED" in out
+    assert "TRN001" in out
+
+
+def test_stats_json_writes_machine_readable_timings(tmp_path):
+    import json
+
+    dest = tmp_path / "stats.json"
+    rc = main(["lint", str(FIXTURES / "det003_bad.py"), "--no-baseline",
+               "--stats-json", str(dest), "--no-cache"])
+    assert rc == 1
+    data = json.loads(dest.read_text())
+    assert data["files"] == 1
+    assert "DET003" in data["rule_seconds"]
+    assert data["total_seconds"] > 0
+
+
 class TestFixCli:
     def _proj(self, tmp_path):
         work = tmp_path / "proj"

@@ -27,6 +27,10 @@ SNIPPET_CASES = {
     "SPMD004": ("deadlock_bad.py", 3, "deadlock_clean.py"),
     "SPMD005": ("spmd005_bad.py", 2, "spmd005_clean.py"),
     "DET005": ("det005_bad.py", 2, "det005_clean.py"),
+    "TRN001": ("trn001_bad.py", 2, "trn001_clean.py"),
+    "TRN002": ("trn002_bad.py", 2, "trn002_clean.py"),
+    "TRN003": ("trn003_bad.py", 2, "trn003_clean.py"),
+    "TRN004": ("trn004_bad.py", 2, "trn004_clean.py"),
 }
 
 #: rule id -> fixture the *syntactic* rule used to flag, discharged by
