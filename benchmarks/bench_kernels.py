@@ -84,7 +84,7 @@ def bench_factorization(cfg: dict) -> dict:
 def bench_triangular_apply(cfg: dict) -> dict:
     A = poisson2d(cfg["fact_nx"])
     params = ILUTParams(fill=cfg["m"], threshold=cfg["t"], k=cfg["k"])
-    r = parallel_ilut_star(A, params, cfg["apply_p"], seed=0, simulate=False)
+    r = parallel_ilut_star(A, params, cfg["apply_p"], seed=0, transport="none")
     f = r.factors
     b = np.arange(1, A.shape[0] + 1, dtype=np.float64) / A.shape[0]
     clear_schedule_cache()

@@ -43,7 +43,7 @@ def main(nx: int = 24) -> None:
     # --- incomplete factorization solve depth: natural vs two-phase MIS
     f_seq = ilut(A, ILUTParams(fill=5, threshold=1e-3))
     f_par = parallel_ilut(
-        A, ILUTParams(fill=5, threshold=1e-3), 8, seed=0, simulate=False
+        A, ILUTParams(fill=5, threshold=1e-3), 8, seed=0, transport="none"
     ).factors
     app_seq = LevelScheduledApplier(f_seq)
     app_par = LevelScheduledApplier(f_par)

@@ -46,7 +46,7 @@ def main(nx: int = 12) -> None:
     # (b) ILUT: fill adds dependencies between interface nodes, breaking
     # the precomputed colouring
     res = parallel_ilut(
-        A, ILUTParams(fill=10, threshold=1e-6), p, decomp=d, seed=0, simulate=False
+        A, ILUTParams(fill=10, threshold=1e-6), p, decomp=d, seed=0, transport="none"
     )
     U = res.factors.U
     perm = res.factors.perm

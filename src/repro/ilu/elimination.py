@@ -24,10 +24,28 @@ Phase 2 (iterative, level-synchronised)
     computation — the property the paper exploits to make the exchange a
     single aggregated message per rank pair per level.
 
-All communication and computation is charged to a
-:class:`~repro.machine.Simulator` when one is supplied; passing
-``sim=None`` executes the identical algorithm without cost accounting
-(used by tests to confirm the simulator never changes numerics).
+All communication and computation flows through a
+:class:`~repro.machine.transport.Transport` when one is supplied
+(the cost-model :class:`~repro.machine.Simulator`, or a real
+:class:`~repro.machine.ThreadTransport` / :class:`~repro.machine.ProcessTransport`);
+passing ``sim=None`` executes the identical algorithm without any
+transport (used by tests to confirm the transports never change
+numerics).
+
+Transport portability (DESIGN.md §13)
+-------------------------------------
+Each phase is organised as a **parallel region**: per-rank pure thunks
+(``_compute_*``) dispatched through ``transport.pardo``, whose returned
+row records the coordinator merges (``_apply_*``) in the same
+deterministic global order the historical inline loops used — rank-major
+for phase 1, independent-set order for level factorization, ascending
+row order for the reduced-matrix update.  Thunks read shared engine
+state but never mutate it; all state writes, tracer declarations and
+cost charges are replayed at merge time, at the original per-row
+granularity.  The merge order plus per-row charge replay is what makes
+factors, modeled times and fault-journal signatures bit-identical across
+all transports (the simulator runs regions sequentially in rank order,
+so it also reproduces the pre-transport behaviour bit for bit).
 """
 
 from __future__ import annotations
@@ -41,7 +59,7 @@ import numpy as np
 from ..decomp import DomainDecomposition
 from ..faults import MessageLost, RankFailure
 from ..graph import Graph, two_step_luby_mis
-from ..machine import Simulator
+from ..machine import Simulator, Transport
 from ..resilience import PivotPolicy
 from ..sparse import COOBuilder, SparseRowAccumulator
 from .dropping import keep_largest
@@ -130,7 +148,12 @@ class EliminationEngine:
         ``None`` → plain ILUT (reduced rows only thresholded);
         an integer → ILUT*-style cap on reduced-row length (``k*m``).
     sim:
-        Optional machine simulator to charge costs to.
+        Optional transport the elimination runs against: the cost-model
+        :class:`~repro.machine.Simulator` (charged exactly as before) or
+        a real :class:`~repro.machine.ThreadTransport` /
+        :class:`~repro.machine.ProcessTransport` whose parallel regions
+        genuinely execute the per-rank thunks concurrently.  Factors are
+        bit-identical across all of them.
     mis_rounds:
         Luby augmentation rounds per independent set (paper uses 5).
     seed:
@@ -168,7 +191,7 @@ class EliminationEngine:
         t: float,
         *,
         reduced_cap: int | None = None,
-        sim: Simulator | None = None,
+        sim: Simulator | Transport | None = None,
         mis_rounds: int = 5,
         seed: int = 0,
         diag_guard: bool = True,
@@ -226,20 +249,57 @@ class EliminationEngine:
         self.backend = resolve_backend(backend)
         self._vec = self.backend == VECTORIZED
         if self._vec:
-            from ..kernels.accumulator import VectorizedRowAccumulator
             from ..kernels.dropping import keep_largest_vec
 
-            self._acc: SparseRowAccumulator | VectorizedRowAccumulator = (
-                VectorizedRowAccumulator(self.n)
-            )
             self._keep = keep_largest_vec
         else:
-            self._acc = SparseRowAccumulator(self.n)
             self._keep = keep_largest
+        self._acc = self._new_acc()
+
+    def _new_acc(self):
+        """A fresh scratch accumulator for the configured backend."""
+        if self._vec:
+            from ..kernels.accumulator import VectorizedRowAccumulator
+
+            return VectorizedRowAccumulator(self.n)
+        return SparseRowAccumulator(self.n)
+
+    def _region_acc(self):
+        """The scratch accumulator a parallel-region thunk should use.
+
+        Thunks running concurrently in one address space (thread
+        transport) must not share scratch state; sequential and forked
+        regions reuse the engine's accumulator.
+        """
+        if self.sim is not None and getattr(self.sim, "concurrent_regions", False):
+            return self._new_acc()
+        return self._acc
 
     # ------------------------------------------------------------------
-    # cost-charging helpers (no-ops without a simulator)
+    # transport helpers (no-ops without a transport)
     # ------------------------------------------------------------------
+
+    def _pardo(self, thunks):
+        """Dispatch one parallel region; sequential in rank order when no
+        transport is attached (the ``sim=None`` testing path)."""
+        if self.sim is not None:
+            return self.sim.pardo(thunks)
+        return [f() if f is not None else None for f in thunks]
+
+    def _replay_decls(self, rank: int, decls) -> None:
+        """Replay a thunk's recorded tracer declarations at merge time.
+
+        Records exist only when the (simulator-owned) tracer is active;
+        replaying them in recorded order preserves the exact access
+        stream of the historical inline loops.
+        """
+        if decls:
+            tr = self._tr
+            for kind, space, idx in decls:
+                if kind == "r":
+                    tr.read(rank, space, idx)
+                else:
+                    tr.write(rank, space, idx)
 
     def _charge_ops(self, rank: int, ops: float) -> None:
         self.flops_total += ops
@@ -300,15 +360,31 @@ class EliminationEngine:
         Interior rows reference only local columns, so this is exactly
         the sequential ILUT restricted to the block; interface columns
         land in the U part (they are eliminated later).
+
+        Compatibility wrapper over the pure thunk body
+        (:meth:`_compute_interior_block`) plus the coordinator merge —
+        ``run`` dispatches all ranks' blocks through one parallel region
+        instead.
+        """
+        self._apply_interior_records(rank, self._compute_interior_block(rank))
+
+    def _compute_interior_block(self, rank: int) -> list[tuple]:
+        """Pure per-rank thunk body for phase-1 interior factorization.
+
+        Reads shared state, mutates nothing; a rank's pivots are its own
+        earlier interior rows, kept in a thunk-local dict.  Returns one
+        record per row: ``(i, l_row, u_row, row_ops, decls)``.
         """
         interior = self.decomp.interior_rows(rank)
         is_earlier = np.zeros(self.n, dtype=bool)  # factored-before-me mask
-        w = self._acc
+        w = self._region_acc()
+        trace = self._tr is not None
+        u_new: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        records: list[tuple] = []
         for i_arr in interior:
             i = int(i_arr)
             cols, vals = self.A.row(i)
-            if self._tr is not None:
-                self._tr.read(rank, "A-row", i)
+            decls: list[tuple] | None = [("r", "A-row", i)] if trace else None
             w.load(cols, vals)
             tau = self._tau(i)
             row_ops = 0
@@ -324,9 +400,9 @@ class EliminationEngine:
                 wk = w.get(k)
                 if wk == 0.0:
                     continue
-                if self._tr is not None:
-                    self._tr.read(rank, "u-row", k)
-                ucols, uvals = self.u_rows[k]
+                if trace:
+                    decls.append(("r", "u-row", k))
+                ucols, uvals = u_new[k]
                 wk = wk / uvals[0]
                 row_ops += 1
                 if abs(wk) < tau:
@@ -351,19 +427,28 @@ class EliminationEngine:
             uc, uv = self._keep(rcols[umask & big], rvals[umask & big], self.m)
             diag = float(rvals[dmask][0]) if np.any(dmask) else 0.0
             diag = self._guard_diag(i, diag)
-            self.l_rows[i] = (lc, lv)
             # U row stored diag-first; tail sorted by column
-            self.u_rows[i] = (
+            u_new[i] = (
                 np.concatenate(([i], uc)).astype(np.int64),
                 np.concatenate(([diag], uv)),
             )
-            if self._tr is not None:
-                self._tr.write(rank, "l-row", i)
-                self._tr.write(rank, "u-row", i)
-            self.pos[i] = len(self.order)
-            self.order.append(i)
+            if trace:
+                decls.append(("w", "l-row", i))
+                decls.append(("w", "u-row", i))
+            records.append((i, (lc, lv), u_new[i], row_ops, decls))
             is_earlier[i] = True
             w.reset()
+        return records
+
+    def _apply_interior_records(self, rank: int, records: list[tuple]) -> None:
+        """Merge one rank's interior records; replay declarations and
+        charges per row, in the rows' ascending (computed) order."""
+        for i, l_row, u_row, row_ops, decls in records:
+            self._replay_decls(rank, decls)
+            self.l_rows[i] = l_row
+            self.u_rows[i] = u_row
+            self.pos[i] = len(self.order)
+            self.order.append(i)
             self._charge_ops(rank, row_ops)
 
     def _reduce_interface_rows(self, rank: int) -> None:
@@ -373,15 +458,27 @@ class EliminationEngine:
         Interface rows reference only *local* interior nodes (a remote
         interior node would have a cross-domain neighbour, contradiction),
         so no communication is needed — the paper's phase-1 property.
+
+        Compatibility wrapper (see :meth:`_factor_interior_block`).
         """
-        w = self._acc
+        self._apply_interface_records(rank, self._compute_interface_reduction(rank))
+
+    def _compute_interface_reduction(self, rank: int) -> list[tuple]:
+        """Pure per-rank thunk body for phase-1 interface reduction.
+
+        Reads the rank's own (already merged) interior U rows; returns
+        one record per interface row:
+        ``(i, l_row, reduced_row, row_ops, copy_words, decls)``.
+        """
+        w = self._region_acc()
+        trace = self._tr is not None
         interior_mask = np.zeros(self.n, dtype=bool)
         interior_mask[self.decomp.interior_rows(rank)] = True
+        records: list[tuple] = []
         for i_arr in self.decomp.interface_rows(rank):
             i = int(i_arr)
             cols, vals = self.A.row(i)
-            if self._tr is not None:
-                self._tr.read(rank, "A-row", i)
+            decls: list[tuple] | None = [("r", "A-row", i)] if trace else None
             w.load(cols, vals)
             tau = self._tau(i)
             row_ops = 0
@@ -396,8 +493,8 @@ class EliminationEngine:
                 wk = w.get(k)
                 if wk == 0.0:
                     continue
-                if self._tr is not None:
-                    self._tr.read(rank, "u-row", k)
+                if trace:
+                    decls.append(("r", "u-row", k))
                 ucols, uvals = self.u_rows[k]
                 wk = wk / uvals[0]
                 row_ops += 1
@@ -428,14 +525,23 @@ class EliminationEngine:
             ins = int(np.searchsorted(rc_k, i))
             rc_k = np.insert(rc_k, ins, i)
             rv_k = np.insert(rv_k, ins, diag_val)
-            self.l_rows[i] = (lc, lv)
-            self.reduced[i] = (rc_k, rv_k)
-            if self._tr is not None:
-                self._tr.write(rank, "l-row", i)
-                self._tr.write(rank, "reduced-row", i)
+            if trace:
+                decls.append(("w", "l-row", i))
+                decls.append(("w", "reduced-row", i))
+            records.append(
+                (i, (lc, lv), (rc_k, rv_k), row_ops, float(rc_k.size + lc.size), decls)
+            )
             w.reset()
+        return records
+
+    def _apply_interface_records(self, rank: int, records: list[tuple]) -> None:
+        """Merge one rank's interface-reduction records in computed order."""
+        for i, l_row, reduced_row, row_ops, copy_words, decls in records:
+            self._replay_decls(rank, decls)
+            self.l_rows[i] = l_row
+            self.reduced[i] = reduced_row
             self._charge_ops(rank, row_ops)
-            self._charge_copy(rank, float(rc_k.size + lc.size))
+            self._charge_copy(rank, copy_words)
 
     # ------------------------------------------------------------------
     # phase 2: iterative independent-set factorization of A_I
@@ -503,28 +609,60 @@ class EliminationEngine:
         Every off-diagonal entry of an independent row's reduced row sits
         at an unfactored column, i.e. in the U part — factoring is just
         the 2nd rule's U side: threshold, then keep the ``m`` largest.
+        One parallel region (rows grouped by owner); the merge walks the
+        independent set in its given order, so elimination positions and
+        charge order match the historical inline loop exactly.
         """
         part = self.decomp.part
+        nranks = self.decomp.nranks
+        rows_by_rank: list[list[int]] = [[] for _ in range(nranks)]
+        for i_arr in iset:
+            rows_by_rank[int(part[i_arr])].append(int(i_arr))
+        results = self._pardo(
+            [
+                (lambda r=r, rows=rows: self._compute_level_rows(r, rows))
+                if rows
+                else None
+                for r, rows in enumerate(rows_by_rank)
+            ]
+        )
+        merged = {rec[0]: rec for recs in results if recs for rec in recs}
         for i_arr in iset:
             i = int(i_arr)
-            cols, vals = self.reduced.pop(i)
-            if self._tr is not None:
-                self._tr.read(int(part[i]), "reduced-row", i)
+            _, u_row, cost, decls = merged[i]
+            rank = int(part[i])
+            self._replay_decls(rank, decls)
+            del self.reduced[i]
+            self.u_rows[i] = u_row
+            self.pos[i] = len(self.order)
+            self.order.append(i)
+            self._charge_ops(rank, cost)
+
+    def _compute_level_rows(self, rank: int, rows: list[int]) -> list[tuple]:
+        """Pure thunk body for one rank's share of an independent set.
+
+        Returns ``(i, u_row, cost, decls)`` per row (the reduced row is
+        consumed at merge time, not here).
+        """
+        trace = self._tr is not None
+        records: list[tuple] = []
+        for i in rows:
+            cols, vals = self.reduced[i]
+            decls: list[tuple] | None = [("r", "reduced-row", i)] if trace else None
             tau = self._tau(i)
             on = cols == i
             diag = float(vals[on][0]) if np.any(on) else 0.0
             big = (np.abs(vals) >= tau) & ~on
             uc, uv = self._keep(cols[big], vals[big], self.m)
             diag = self._guard_diag(i, diag)
-            self.u_rows[i] = (
+            u_row = (
                 np.concatenate(([i], uc)).astype(np.int64),
                 np.concatenate(([diag], uv)),
             )
-            if self._tr is not None:
-                self._tr.write(int(part[i]), "u-row", i)
-            self.pos[i] = len(self.order)
-            self.order.append(i)
-            self._charge_ops(int(part[i]), float(cols.size))
+            if trace:
+                decls.append(("w", "u-row", i))
+            records.append((i, u_row, float(cols.size), decls))
+        return records
 
     def _exchange_level_rows(self, iset: np.ndarray, level: int) -> None:
         """Charge the u-row exchange for this level.
@@ -566,19 +704,55 @@ class EliminationEngine:
         the 3rd dropping rule.
         """
         part = self.decomp.part
+        nranks = self.decomp.nranks
         iset_mask = np.zeros(self.n, dtype=bool)
         iset_mask[iset] = True
-        w = self._acc
-        for i in sorted(self.reduced.keys()):
+        rows = sorted(self.reduced.keys())
+        rows_by_rank: list[list[int]] = [[] for _ in range(nranks)]
+        for i in rows:
+            rows_by_rank[int(part[i])].append(i)
+        results = self._pardo(
+            [
+                (lambda r=r, rr=rr: self._compute_update_rows(r, rr, iset_mask))
+                if rr
+                else None
+                for r, rr in enumerate(rows_by_rank)
+            ]
+        )
+        merged = {rec[0]: rec for recs in results if recs for rec in recs}
+        # merge in ascending row order — the historical inline order, which
+        # interleaves ranks and fixes the global charge/trace sequence
+        for i in rows:
+            rec = merged.get(i)
+            if rec is None:  # row held no I_l pivots: untouched this level
+                continue
+            _, l_row, reduced_row, row_ops, copy_words, decls = rec
+            rank = int(part[i])
+            self._replay_decls(rank, decls)
+            self.l_rows[i] = l_row
+            self.reduced[i] = reduced_row
+            self._charge_ops(rank, row_ops)
+            self._charge_copy(rank, copy_words)
+
+    def _compute_update_rows(
+        self, rank: int, rows: list[int], iset_mask: np.ndarray
+    ) -> list[tuple]:
+        """Pure thunk body: apply Algorithm 4.1 to one rank's reduced rows.
+
+        Rows without ``I_l`` pivots produce no record.  Returns
+        ``(i, l_row, reduced_row, row_ops, copy_words, decls)`` per row.
+        """
+        w = self._region_acc()
+        trace = self._tr is not None
+        records: list[tuple] = []
+        for i in rows:
             cols, vals = self.reduced[i]
             pivots = cols[iset_mask[cols]]
             if pivots.size == 0:
                 continue
             tau = self._tau(i)
-            rank = int(part[i])
             row_ops = 0
-            if self._tr is not None:
-                self._tr.read(rank, "reduced-row", i)
+            decls: list[tuple] | None = [("r", "reduced-row", i)] if trace else None
             w.load(cols, vals)
             new_l_cols: list[int] = []
             new_l_vals: list[float] = []
@@ -588,8 +762,8 @@ class EliminationEngine:
                 w.drop(k)
                 if wk == 0.0:
                     continue
-                if self._tr is not None:
-                    self._tr.read(rank, "u-row", k)
+                if trace:
+                    decls.append(("r", "u-row", k))
                 ucols, uvals = self.u_rows[k]
                 wk = wk / uvals[0]
                 row_ops += 1
@@ -611,7 +785,6 @@ class EliminationEngine:
             lc_m, lv_m = _merge_rows(lc_old, lv_old, lc_new[order_], lv_new[order_])
             big = np.abs(lv_m) >= tau
             lc_m, lv_m = self._keep(lc_m[big], lv_m[big], self.m)
-            self.l_rows[i] = (lc_m, lv_m)
             # 3rd rule on the reduced part (diagonal always kept)
             on = rcols == i
             diag_val = float(rvals[on][0]) if np.any(on) else 0.0
@@ -622,12 +795,20 @@ class EliminationEngine:
             ins = int(np.searchsorted(rc_k, i))
             rc_k = np.insert(rc_k, ins, i)
             rv_k = np.insert(rv_k, ins, diag_val)
-            self.reduced[i] = (rc_k, rv_k)
-            if self._tr is not None:
-                self._tr.write(rank, "l-row", i)
-                self._tr.write(rank, "reduced-row", i)
-            self._charge_ops(rank, row_ops)
-            self._charge_copy(rank, float(rc_k.size + lc_m.size))
+            if trace:
+                decls.append(("w", "l-row", i))
+                decls.append(("w", "reduced-row", i))
+            records.append(
+                (
+                    i,
+                    (lc_m, lv_m),
+                    (rc_k, rv_k),
+                    row_ops,
+                    float(rc_k.size + lc_m.size),
+                    decls,
+                )
+            )
+        return records
 
     # ------------------------------------------------------------------
     # checkpoint / recovery
@@ -671,9 +852,6 @@ class EliminationEngine:
         self.u_rows_comm = ckpt.u_rows_comm
         self._acc.reset()
         if self.sim is not None and ckpt.sim_snap is not None:
-            from ..machine import SimulatorSnapshot
-
-            assert isinstance(ckpt.sim_snap, SimulatorSnapshot)
             self.sim.restore(
                 ckpt.sim_snap,
                 reason=f"resume from level {ckpt.level} after {type(err).__name__}: {err}",
@@ -694,13 +872,19 @@ class EliminationEngine:
 
     def _run_phase1(self) -> list[tuple[int, int]]:
         nranks = self.decomp.nranks
+        interior_results = self._pardo(
+            [(lambda r=r: self._compute_interior_block(r)) for r in range(nranks)]
+        )
         interior_ranges: list[tuple[int, int]] = []
         for r in range(nranks):
             start = len(self.order)
-            self._factor_interior_block(r)
+            self._apply_interior_records(r, interior_results[r])
             interior_ranges.append((start, len(self.order)))
+        reduction_results = self._pardo(
+            [(lambda r=r: self._compute_interface_reduction(r)) for r in range(nranks)]
+        )
         for r in range(nranks):
-            self._reduce_interface_rows(r)
+            self._apply_interface_records(r, reduction_results[r])
         self._barrier()  # end of phase 1
         return interior_ranges
 

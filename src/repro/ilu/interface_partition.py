@@ -47,14 +47,7 @@ class InterfacePartitionEngine(EliminationEngine):
 
     def run(self) -> EliminationOutcome:
         nranks = self.decomp.nranks
-        interior_ranges: list[tuple[int, int]] = []
-        for r in range(nranks):
-            start = len(self.order)
-            self._factor_interior_block(r)
-            interior_ranges.append((start, len(self.order)))
-        for r in range(nranks):
-            self._reduce_interface_rows(r)
-        self._barrier()
+        interior_ranges = self._run_phase1()
 
         interface_levels: list[np.ndarray] = []
         rounds = 0
@@ -76,9 +69,21 @@ class InterfacePartitionEngine(EliminationEngine):
                         remaining, rank=int(self.decomp.part[remaining[0]])
                     )
                 else:
+                    # one parallel region: each domain's internal rows are
+                    # factored by its rank concurrently (domains are
+                    # internally closed, so thunks never cross-read)
+                    thunks: list = [None] * nranks
                     for dom_rank, dom in enumerate(domains):
                         if dom.size:
-                            self._factor_domain(dom, rank=dom_rank % nranks)
+                            thunks[dom_rank % nranks] = (
+                                lambda dom=dom: self._compute_domain(dom)
+                            )
+                    results = self._pardo(thunks)
+                    for dom_rank, dom in enumerate(domains):
+                        if dom.size:
+                            self._apply_domain_records(
+                                dom_rank % nranks, results[dom_rank % nranks]
+                            )
                     factored_round = np.concatenate(
                         [d for d in domains if d.size]
                     )
@@ -138,20 +143,40 @@ class InterfacePartitionEngine(EliminationEngine):
 
     def _factor_domain(self, nodes: np.ndarray, rank: int) -> None:
         """Sequentially factor ``nodes`` (ascending), respecting
-        intra-domain dependencies; charge all work to ``rank``."""
+        intra-domain dependencies; charge all work to ``rank``.
+
+        Compatibility wrapper over the pure thunk body
+        (:meth:`_compute_domain`) plus the coordinator merge — the
+        multi-domain round in :meth:`run` dispatches all domains through
+        one parallel region instead.
+        """
+        self._apply_domain_records(rank, self._compute_domain(nodes))
+
+    def _compute_domain(self, nodes: np.ndarray) -> list[tuple]:
+        """Pure thunk body: factor one interface-domain's internal rows.
+
+        Intra-domain pivots are tracked with a thunk-local elimination
+        position overlay — order-isomorphic to the global positions the
+        merge will assign, so the heap pops in the same sequence the
+        historical inline loop produced.  Returns
+        ``(i, l_row_or_None, u_row, charge)`` per row in ``nodes`` order.
+        """
         in_round: dict[int, bool] = {int(v): True for v in nodes}
+        local_pos: dict[int, int] = {}
+        u_new: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        w = self._region_acc()
+        records: list[tuple] = []
         for i_arr in nodes:
             i = int(i_arr)
-            cols, vals = self.reduced.pop(i)
+            cols, vals = self.reduced[i]
             tau = self._tau(i)
             row_ops = 0
-            w = self._acc
             w.load(cols, vals)
             # pivots: same-round nodes already factored, by elimination order
             heap = [
-                (int(self.pos[c]), int(c))
+                (local_pos[int(c)], int(c))
                 for c in cols
-                if in_round.get(int(c), False) and self.pos[c] >= 0
+                if in_round.get(int(c), False) and int(c) in local_pos
             ]
             heapq.heapify(heap)
             done_pos = -1
@@ -166,7 +191,7 @@ class InterfacePartitionEngine(EliminationEngine):
                 w.drop(k)
                 if wk == 0.0:
                     continue
-                ucols, uvals = self.u_rows[k]
+                ucols, uvals = u_new[k]
                 wk = wk / uvals[0]
                 row_ops += 1
                 if abs(wk) < tau:
@@ -177,8 +202,8 @@ class InterfacePartitionEngine(EliminationEngine):
                     w.axpy(-wk, ucols[1:], uvals[1:])
                     row_ops += 2 * int(ucols.size - 1)
                     for c in ucols[1:]:
-                        if in_round.get(int(c), False) and self.pos[c] >= 0:
-                            heapq.heappush(heap, (int(self.pos[c]), int(c)))
+                        if in_round.get(int(c), False) and int(c) in local_pos:
+                            heapq.heappush(heap, (local_pos[int(c)], int(c)))
             rcols, rvals = w.extract()
             w.reset()
             # merge this round's multipliers into the L row (3rd rule)
@@ -189,8 +214,6 @@ class InterfacePartitionEngine(EliminationEngine):
             lc_m, lv_m = _merge_rows(lc_old, lv_old, lc_new[order_], lv_new[order_])
             big = np.abs(lv_m) >= tau
             lc_m, lv_m = keep_largest(lc_m[big], lv_m[big], self.m)
-            if lc_m.size:
-                self.l_rows[i] = (lc_m, lv_m)
             # U part: everything left (all unfactored columns)
             on = rcols == i
             diag = float(rvals[on][0]) if np.any(on) else 0.0
@@ -198,13 +221,32 @@ class InterfacePartitionEngine(EliminationEngine):
             # already-factored same-round columns were consumed as pivots
             uc, uv = keep_largest(rcols[big_u], rvals[big_u], self.m)
             diag = self._guard_diag(i, diag)
-            self.u_rows[i] = (
+            u_new[i] = (
                 np.concatenate(([i], uc)).astype(np.int64),
                 np.concatenate(([diag], uv)),
             )
+            local_pos[i] = len(local_pos)
+            records.append(
+                (
+                    i,
+                    (lc_m, lv_m) if lc_m.size else None,
+                    u_new[i],
+                    row_ops + float(rcols.size),
+                )
+            )
+        return records
+
+    def _apply_domain_records(self, rank: int, records: list[tuple]) -> None:
+        """Merge one domain's records in factoring order; assign global
+        elimination positions and replay the per-row charges."""
+        for i, l_row, u_row, charge in records:
+            del self.reduced[i]
+            if l_row is not None:
+                self.l_rows[i] = l_row
+            self.u_rows[i] = u_row
             self.pos[i] = len(self.order)
             self.order.append(i)
-            self._charge_ops(rank, row_ops + float(rcols.size))
+            self._charge_ops(rank, charge)
 
     def _reduce_against(self, factored: np.ndarray) -> None:
         """Eliminate this round's factored unknowns from remaining rows."""
@@ -228,13 +270,45 @@ class InterfacePartitionEngine(EliminationEngine):
                 self.u_rows_comm += len(rows_needed)
             for (src, dst), _rows in sorted(need.items()):
                 self.sim.recv(dst, src, tag="ipart")
-        w = self._acc
-        for i in sorted(self.reduced.keys()):
+        rows = sorted(self.reduced.keys())
+        nranks = self.decomp.nranks
+        rows_by_rank: list[list[int]] = [[] for _ in range(nranks)]
+        for i in rows:
+            rows_by_rank[int(part[i])].append(i)
+        results = self._pardo(
+            [
+                (lambda r=r, rr=rr: self._compute_reduce_against(rr, fmask))
+                if rr
+                else None
+                for r, rr in enumerate(rows_by_rank)
+            ]
+        )
+        merged = {rec[0]: rec for recs in results if recs for rec in recs}
+        # ascending row order: the historical inline order across ranks
+        for i in rows:
+            rec = merged.get(i)
+            if rec is None:  # row untouched by this round's factored set
+                continue
+            _, l_row, reduced_row, row_ops, copy_words = rec
+            rank = int(part[i])
+            self.l_rows[i] = l_row
+            self.reduced[i] = reduced_row
+            self._charge_ops(rank, row_ops)
+            self._charge_copy(rank, copy_words)
+
+    def _compute_reduce_against(
+        self, rows: list[int], fmask: np.ndarray
+    ) -> list[tuple]:
+        """Pure thunk body: eliminate this round's factored unknowns from
+        one rank's reduced rows.  Returns
+        ``(i, l_row, reduced_row, row_ops, copy_words)`` per touched row."""
+        w = self._region_acc()
+        records: list[tuple] = []
+        for i in rows:
             cols, vals = self.reduced[i]
             if not np.any(fmask[cols]):
                 continue
             tau = self._tau(i)
-            rank = int(part[i])
             row_ops = 0
             w.load(cols, vals)
             heap = [(int(self.pos[c]), int(c)) for c in cols if fmask[c]]
@@ -273,7 +347,6 @@ class InterfacePartitionEngine(EliminationEngine):
             lc_m, lv_m = _merge_rows(lc_old, lv_old, lc_new[order_], lv_new[order_])
             big = np.abs(lv_m) >= tau
             lc_m, lv_m = keep_largest(lc_m[big], lv_m[big], self.m)
-            self.l_rows[i] = (lc_m, lv_m)
             on = rcols == i
             diag_val = float(rvals[on][0]) if np.any(on) else 0.0
             keep = (np.abs(rvals) >= tau) & ~on & ~fmask[rcols]
@@ -283,9 +356,16 @@ class InterfacePartitionEngine(EliminationEngine):
             ins = int(np.searchsorted(rc_k, i))
             rc_k = np.insert(rc_k, ins, i)
             rv_k = np.insert(rv_k, ins, diag_val)
-            self.reduced[i] = (rc_k, rv_k)
-            self._charge_ops(rank, row_ops)
-            self._charge_copy(rank, float(rc_k.size + lc_m.size))
+            records.append(
+                (
+                    i,
+                    (lc_m, lv_m),
+                    (rc_k, rv_k),
+                    row_ops,
+                    float(rc_k.size + lc_m.size),
+                )
+            )
+        return records
 
 
 def parallel_ilut_partitioned(
@@ -295,17 +375,20 @@ def parallel_ilut_partitioned(
     nranks: int,
     *,
     reduced_cap: int | None = None,
-    simulate: bool = True,
+    transport="simulator",
+    simulate: bool | None = None,
     seed: int = 0,
     **kwargs,
 ):
     """Parallel ILUT with the §7 partition-based interface factorization.
 
-    Same signature spirit as :func:`repro.ilu.parallel.parallel_ilut`;
-    returns a :class:`~repro.ilu.parallel.ParallelILUResult`.
+    Same signature spirit as :func:`repro.ilu.parallel.parallel_ilut`
+    (including the ``transport=`` backend selector and the deprecated
+    ``simulate=`` alias); returns a
+    :class:`~repro.ilu.parallel.ParallelILUResult`.
     """
     from ..decomp import decompose
-    from ..machine import CRAY_T3D, Simulator
+    from ..machine import CRAY_T3D, is_transport, resolve_entry_transport, transport_name
     from .parallel import ParallelILUResult
 
     model = kwargs.pop("model", CRAY_T3D)
@@ -315,18 +398,26 @@ def parallel_ilut_partitioned(
         raise TypeError(f"unexpected keyword arguments: {sorted(kwargs)}")
     if decomp is None:
         decomp = decompose(A, nranks, method=method, seed=seed)
-    sim = Simulator(nranks, model) if simulate else None
-    engine = InterfacePartitionEngine(
-        decomp, m, t, reduced_cap=reduced_cap, sim=sim, seed=seed
+    sim = resolve_entry_transport(
+        "parallel_ilut_partitioned", transport, simulate, nranks, model=model
     )
-    outcome = engine.run()
-    return ParallelILUResult(
-        factors=outcome.factors,
-        decomp=decomp,
-        num_levels=outcome.num_levels,
-        level_sizes=outcome.level_sizes,
-        modeled_time=sim.elapsed() if sim is not None else None,
-        comm=sim.stats() if sim is not None else None,
-        flops=outcome.flops,
-        words_copied=outcome.words_copied,
-    )
+    owned = not is_transport(transport)
+    try:
+        engine = InterfacePartitionEngine(
+            decomp, m, t, reduced_cap=reduced_cap, sim=sim, seed=seed
+        )
+        outcome = engine.run()
+        return ParallelILUResult(
+            factors=outcome.factors,
+            decomp=decomp,
+            num_levels=outcome.num_levels,
+            level_sizes=outcome.level_sizes,
+            modeled_time=sim.elapsed() if sim is not None else None,
+            comm=sim.stats() if sim is not None else None,
+            flops=outcome.flops,
+            words_copied=outcome.words_copied,
+            transport=transport_name(sim),
+        )
+    finally:
+        if owned and sim is not None:
+            sim.close()

@@ -8,12 +8,21 @@ statistics and the independent-set level structure (the paper's ``q``).
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 from ..decomp import DomainDecomposition, decompose
 from ..faults import FaultJournal, FaultPlan
-from ..machine import CRAY_T3D, CommStats, MachineModel, Simulator
+from ..machine import (
+    CRAY_T3D,
+    CommStats,
+    MachineModel,
+    Transport,
+    is_transport,
+    resolve_entry_transport,
+    transport_name,
+)
 from ..resilience import PivotPolicy
 from ..sparse import CSRMatrix
 from .elimination import EliminationEngine
@@ -54,6 +63,9 @@ class ParallelILUResult:
         run with a ``faults=`` plan (``None`` otherwise).
     recoveries:
         Checkpoint rollbacks performed during the factorization.
+    transport:
+        Which transport executed the run (``"simulator"``, ``"threads"``,
+        ``"processes"`` or ``"none"``).
     """
 
     factors: ILUFactors
@@ -67,6 +79,7 @@ class ParallelILUResult:
     trace: AccessTracer | None = None
     fault_journal: FaultJournal | None = None
     recoveries: int = 0
+    transport: str = "none"
 
     @property
     def nranks(self) -> int:
@@ -83,7 +96,8 @@ def parallel_ilut(
     t: float | None = None,
     reduced_cap: int | None = None,
     model: MachineModel = CRAY_T3D,
-    simulate: bool = True,
+    transport: str | Transport | None = "simulator",
+    simulate: bool | None = None,
     decomp: DomainDecomposition | None = None,
     method: str = "multilevel",
     mis_rounds: int = 5,
@@ -117,10 +131,19 @@ def parallel_ilut(
         Cap on reduced-row length; ``None`` reproduces plain ILUT.
         (Use :func:`parallel_ilut_star` for the paper's ILUT*(m,t,k).)
     model:
-        Machine cost model (default: the Cray T3D preset).
+        Machine cost model (default: the Cray T3D preset; only the
+        simulator transport consumes it).
+    transport:
+        Execution backend for the parallel regions — ``"simulator"``
+        (default; modelled clocks, the deterministic oracle),
+        ``"threads"`` / ``"processes"`` (real workers, bit-identical
+        factors), ``"none"`` (no accounting at all; fastest, used
+        heavily in tests), or a ready
+        :class:`~repro.machine.Transport` instance.
     simulate:
-        ``False`` executes the identical algorithm without cost
-        accounting (slightly faster; used heavily in tests).
+        Deprecated alias: ``simulate=True`` means
+        ``transport="simulator"``, ``simulate=False`` means
+        ``transport="none"``.  Emits a :class:`DeprecationWarning`.
     decomp:
         Reuse a precomputed decomposition; otherwise one is computed
         with ``method`` (``"multilevel"``/``"block"``/``"random"``).
@@ -175,46 +198,51 @@ def parallel_ilut(
         raise ValueError(
             f"decomp has {decomp.nranks} ranks but nranks={nranks} was requested"
         )
-    if trace and not simulate:
-        raise ValueError("trace=True requires simulate=True")
-    if faults is not None and not simulate:
-        raise ValueError("faults= requires simulate=True")
     if checkpoint is None:
         checkpoint = faults is not None
-    if copy_payloads and not simulate:
-        raise ValueError("copy_payloads=True requires simulate=True")
-    sim = (
-        Simulator(nranks, model, trace=trace, faults=faults, copy_payloads=copy_payloads)
-        if simulate
-        else None
+    sim = resolve_entry_transport(
+        "parallel_ilut",
+        transport,
+        simulate,
+        nranks,
+        model=model,
+        trace=trace,
+        faults=faults,
+        copy_payloads=copy_payloads,
     )
-    engine = EliminationEngine(
-        decomp,
-        p.fill,
-        p.threshold,
-        reduced_cap=reduced_cap,
-        sim=sim,
-        mis_rounds=mis_rounds,
-        seed=seed,
-        diag_guard=diag_guard,
-        pivot_policy=pivot_policy,
-        checkpoint=checkpoint,
-        backend=backend,
-    )
-    outcome = engine.run()
-    return ParallelILUResult(
-        factors=outcome.factors,
-        decomp=decomp,
-        num_levels=outcome.num_levels,
-        level_sizes=outcome.level_sizes,
-        modeled_time=sim.elapsed() if sim is not None else None,
-        comm=sim.stats() if sim is not None else None,
-        flops=outcome.flops,
-        words_copied=outcome.words_copied,
-        trace=sim.tracer if sim is not None else None,
-        fault_journal=sim.fault_journal if sim is not None else None,
-        recoveries=outcome.recoveries,
-    )
+    owned = not is_transport(transport)  # we constructed it, we close it
+    try:
+        engine = EliminationEngine(
+            decomp,
+            p.fill,
+            p.threshold,
+            reduced_cap=reduced_cap,
+            sim=sim,
+            mis_rounds=mis_rounds,
+            seed=seed,
+            diag_guard=diag_guard,
+            pivot_policy=pivot_policy,
+            checkpoint=checkpoint,
+            backend=backend,
+        )
+        outcome = engine.run()
+        return ParallelILUResult(
+            factors=outcome.factors,
+            decomp=decomp,
+            num_levels=outcome.num_levels,
+            level_sizes=outcome.level_sizes,
+            modeled_time=sim.elapsed() if sim is not None else None,
+            comm=sim.stats() if sim is not None else None,
+            flops=outcome.flops,
+            words_copied=outcome.words_copied,
+            trace=getattr(sim, "tracer", None),
+            fault_journal=getattr(sim, "fault_journal", None),
+            recoveries=outcome.recoveries,
+            transport=transport_name(sim),
+        )
+    finally:
+        if owned and sim is not None:
+            sim.close()
 
 
 def parallel_ilut_star(
@@ -270,6 +298,23 @@ def parallel_ilut_star(
     if nranks is None:
         raise TypeError("parallel_ilut_star() missing required argument 'nranks'")
     assert p.reduced_cap is not None
+    simulate = kwargs.pop("simulate", None)
+    if simulate is not None:
+        # translate here so the DeprecationWarning points at the caller,
+        # not at this delegation into parallel_ilut
+        if kwargs.get("transport", "simulator") != "simulator":
+            raise TypeError(
+                "parallel_ilut_star() got both the deprecated simulate= "
+                "and transport=; pass only transport="
+            )
+        warnings.warn(
+            "parallel_ilut_star(simulate=...) is deprecated; pass "
+            "transport='simulator' (simulate=True) or transport='none' "
+            "(simulate=False) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        kwargs["transport"] = "simulator" if simulate else "none"
     return parallel_ilut(
         A,
         ILUTParams(fill=p.fill, threshold=p.threshold),

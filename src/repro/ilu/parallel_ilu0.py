@@ -15,7 +15,14 @@ import numpy as np
 
 from ..decomp import DomainDecomposition, decompose
 from ..graph import Graph, color_classes, greedy_coloring
-from ..machine import CRAY_T3D, MachineModel, Simulator
+from ..machine import (
+    CRAY_T3D,
+    MachineModel,
+    Transport,
+    is_transport,
+    resolve_entry_transport,
+    transport_name,
+)
 from ..resilience import ZeroPivotError
 from ..sparse import COOBuilder, CSRMatrix, SparseRowAccumulator
 from .factors import ILUFactors, LevelStructure
@@ -50,7 +57,8 @@ def parallel_ilu0(
     nranks: int,
     *,
     model: MachineModel = CRAY_T3D,
-    simulate: bool = True,
+    transport: str | Transport | None = "simulator",
+    simulate: bool | None = None,
     decomp: DomainDecomposition | None = None,
     method: str = "multilevel",
     seed: int = 0,
@@ -70,7 +78,10 @@ def parallel_ilu0(
         raise ValueError(
             f"decomp has {decomp.nranks} ranks but nranks={nranks} was requested"
         )
-    sim = Simulator(nranks, model) if simulate else None
+    sim = resolve_entry_transport(
+        "parallel_ilu0", transport, simulate, nranks, model=model
+    )
+    owned = not is_transport(transport)
     n = A.shape[0]
     part = decomp.part
 
@@ -95,84 +106,121 @@ def parallel_ilu0(
     pos = np.empty(n, dtype=np.int64)
     pos[perm] = np.arange(n, dtype=np.int64)
 
-    # numeric factorization in that order, zero-fill
+    # numeric factorization in that order, zero-fill.  Each parallel
+    # region runs pure per-rank thunks (DESIGN.md §13): a thunk factors
+    # its rows against thunk-local scratch plus the coordinator's merged
+    # u-rows (stable during a region) and returns per-row records; the
+    # coordinator applies them in the historical inline order, so the
+    # builders, u-rows and charges are bit-identical on every transport.
     norms = A.row_norms(ord=2)
-    w = SparseRowAccumulator(n)
     u_rows: dict[int, tuple[np.ndarray, np.ndarray]] = {}
     l_builder = COOBuilder(n)
     u_builder = COOBuilder(n)
-    in_pattern = np.zeros(n, dtype=bool)
 
-    def factor_row(i: int) -> float:
-        cols, vals = A.row(i)
-        w.load(cols, vals)
-        in_pattern[cols] = True
-        ops = 0.0
-        pivots = sorted(
-            (int(pos[c]), int(c)) for c in cols if pos[c] < pos[i]
-        )
-        for _, k in pivots:
-            wk = w.get(k)
-            if wk == 0.0:
-                continue
-            ucols, uvals = u_rows[k]
-            wk = wk / uvals[0]
-            ops += 1
-            w.set(k, wk)
-            if ucols.size > 1:
-                tail = ucols[1:]
-                keep = in_pattern[tail]
-                if np.any(keep):
-                    w.axpy(-wk, tail[keep], uvals[1:][keep])
-                    ops += 2.0 * keep.sum()
-        rcols, rvals = w.extract()
-        lmask = pos[rcols] < pos[i]
-        dmask = rcols == i
-        umask = ~lmask & ~dmask
-        diag = float(rvals[dmask][0]) if np.any(dmask) else 0.0
-        if diag == 0.0:
-            if not diag_guard:
-                raise ZeroPivotError(f"zero pivot at row {i}", row=i, value=0.0)
-            diag = norms[i] if norms[i] > 0 else 1.0
+    def pardo(thunks):
+        if sim is not None:
+            return sim.pardo(thunks)
+        return [f() if f is not None else None for f in thunks]
+
+    def make_row_kernel():
+        # thunk-local scratch: accumulator, pattern mask, and u-rows
+        # factored by this thunk but not yet merged by the coordinator
+        w = SparseRowAccumulator(n)
+        in_pattern = np.zeros(n, dtype=bool)
+        u_new: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+
+        def factor_row(i: int):
+            cols, vals = A.row(i)
+            w.load(cols, vals)
+            in_pattern[cols] = True
+            ops = 0.0
+            pivots = sorted(
+                (int(pos[c]), int(c)) for c in cols if pos[c] < pos[i]
+            )
+            for _, k in pivots:
+                wk = w.get(k)
+                if wk == 0.0:
+                    continue
+                ucols, uvals = u_new[k] if k in u_new else u_rows[k]
+                wk = wk / uvals[0]
+                ops += 1
+                w.set(k, wk)
+                if ucols.size > 1:
+                    tail = ucols[1:]
+                    keep = in_pattern[tail]
+                    if np.any(keep):
+                        w.axpy(-wk, tail[keep], uvals[1:][keep])
+                        ops += 2.0 * keep.sum()
+            rcols, rvals = w.extract()
+            lmask = pos[rcols] < pos[i]
+            dmask = rcols == i
+            umask = ~lmask & ~dmask
+            diag = float(rvals[dmask][0]) if np.any(dmask) else 0.0
+            if diag == 0.0:
+                if not diag_guard:
+                    raise ZeroPivotError(f"zero pivot at row {i}", row=i, value=0.0)
+                diag = norms[i] if norms[i] > 0 else 1.0
+            l_rec = (
+                (pos[rcols[lmask]], rvals[lmask]) if np.any(lmask) else None
+            )
+            u_rec = (
+                (pos[rcols[umask]], rvals[umask]) if np.any(umask) else None
+            )
+            uc = rcols[umask]
+            uo = np.argsort(pos[uc], kind="stable")  # by elimination position
+            u_row = (
+                np.concatenate(([i], uc[uo])).astype(np.int64),
+                np.concatenate(([diag], rvals[umask][uo])),
+            )
+            u_new[i] = u_row
+            in_pattern[cols] = False
+            w.reset()
+            return (i, l_rec, diag, u_rec, u_row, ops)
+
+        return factor_row
+
+    def block_thunk(rows: list[int]):
+        def thunk():
+            factor_row = make_row_kernel()
+            return [factor_row(i) for i in rows]
+
+        return thunk
+
+    def apply_row(rec) -> float:
+        i, l_rec, diag, u_rec, u_row, ops = rec
         p_i = int(pos[i])
-        if np.any(lmask):
-            l_builder.add_batch(
-                np.full(int(lmask.sum()), p_i, dtype=np.int64),
-                pos[rcols[lmask]],
-                rvals[lmask],
-            )
+        if l_rec is not None:
+            lc, lv = l_rec
+            l_builder.add_batch(np.full(lc.size, p_i, dtype=np.int64), lc, lv)
         u_builder.add(p_i, p_i, diag)
-        if np.any(umask):
-            u_builder.add_batch(
-                np.full(int(umask.sum()), p_i, dtype=np.int64),
-                pos[rcols[umask]],
-                rvals[umask],
-            )
-        uc = rcols[umask]
-        uo = np.argsort(pos[uc], kind="stable")  # by elimination position
-        u_rows[i] = (
-            np.concatenate(([i], uc[uo])).astype(np.int64),
-            np.concatenate(([diag], rvals[umask][uo])),
-        )
-        in_pattern[cols] = False
-        w.reset()
+        if u_rec is not None:
+            uc, uv = u_rec
+            u_builder.add_batch(np.full(uc.size, p_i, dtype=np.int64), uc, uv)
+        u_rows[i] = u_row
         return ops
 
-    # phase 1: interiors (independent blocks) + interface prep rows local
+    # phase 1: interiors (independent blocks) + interface prep rows local.
+    # Interior pivots stay within the owner's interior block, so a
+    # thunk's u_new overlay covers every pivot it needs.
+    phase1_thunks: list = [None] * nranks
+    for r in range(nranks):
+        rows = [int(i) for i in decomp.interior_rows(r)]
+        if rows:
+            phase1_thunks[r] = block_thunk(rows)
+    phase1_results = pardo(phase1_thunks)
     for r in range(nranks):
         ops = 0.0
-        for i in decomp.interior_rows(r):
-            ops += factor_row(int(i))
+        for rec in phase1_results[r] or []:
+            ops += apply_row(rec)
         if sim is not None:
             sim.compute(r, ops)
     if sim is not None:
         sim.barrier()
 
-    # phase 2: colour classes in order; u-row exchange per class
+    # phase 2: colour classes in order; u-row exchange per class.  The
+    # colouring guarantees no same-class pivots, so class thunks read
+    # only coordinator-merged u-rows.
     for lvl_idx, cls in enumerate(classes):
-        if sim is not None:
-            cls_mask = np.zeros(n, dtype=bool)
-            cls_mask[cls] = True
         per_rank_ops: dict[int, float] = {}
         # comm: remaining rows need u_k of earlier classes — but within a
         # class, rows only need *already factored* rows, known statically:
@@ -193,8 +241,17 @@ def parallel_ilu0(
                 sim.send(src, dst, None, words, tag=("ilu0", lvl_idx))
             for (src, dst), _words in sorted(need.items()):
                 sim.recv(dst, src, tag=("ilu0", lvl_idx))
+        rows_by_rank: list[list[int]] = [[] for _ in range(nranks)]
         for i in cls:
-            ops = factor_row(int(i))
+            rows_by_rank[int(part[i])].append(int(i))
+        cls_results = pardo(
+            [block_thunk(rows) if rows else None for rows in rows_by_rank]
+        )
+        rec_by_row = {
+            rec[0]: rec for res in cls_results if res for rec in res
+        }
+        for i in cls:
+            ops = apply_row(rec_by_row[int(i)])
             r = int(part[i])
             per_rank_ops[r] = per_rank_ops.get(r, 0.0) + ops
         if sim is not None:
@@ -218,13 +275,18 @@ def parallel_ilu0(
         levels=levels,
         stats={"algo": "parallel-ilu0", "num_levels": len(interface_levels)},
     )
-    return ParallelILUResult(
-        factors=factors,
-        decomp=decomp,
-        num_levels=len(interface_levels),
-        level_sizes=[int(c.size) for c in classes],
-        modeled_time=sim.elapsed() if sim is not None else None,
-        comm=sim.stats() if sim is not None else None,
-        flops=0.0 if sim is None else sim.stats().total_flops,
-        words_copied=0.0,
-    )
+    try:
+        return ParallelILUResult(
+            factors=factors,
+            decomp=decomp,
+            num_levels=len(interface_levels),
+            level_sizes=[int(c.size) for c in classes],
+            modeled_time=sim.elapsed() if sim is not None else None,
+            comm=sim.stats() if sim is not None else None,
+            flops=0.0 if sim is None else sim.stats().total_flops,
+            words_copied=0.0,
+            transport=transport_name(sim),
+        )
+    finally:
+        if owned and sim is not None:
+            sim.close()

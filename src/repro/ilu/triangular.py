@@ -28,7 +28,15 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from ..faults import FaultJournal, FaultPlan
-from ..machine import CRAY_T3D, CommStats, MachineModel, Simulator
+from ..machine import (
+    CRAY_T3D,
+    CommStats,
+    MachineModel,
+    Transport,
+    is_transport,
+    resolve_entry_transport,
+    transport_name,
+)
 from .factors import ILUFactors
 
 if TYPE_CHECKING:
@@ -47,6 +55,7 @@ class TriangularSolveResult:
     flops: float
     trace: AccessTracer | None = None
     fault_journal: FaultJournal | None = None
+    transport: str = "none"
 
 
 def _cross_rank_receivers(
@@ -194,7 +203,7 @@ def _solve_vectorized(factors, b, sim, tr):
         comm=sim.stats() if sim is not None else None,
         flops=float(flops_rank.sum()),
         trace=tr,
-        fault_journal=sim.fault_journal if sim is not None else None,
+        fault_journal=getattr(sim, "fault_journal", None),
     )
 
 
@@ -204,7 +213,8 @@ def parallel_triangular_solve(
     *,
     nranks: int | None = None,
     model: MachineModel = CRAY_T3D,
-    simulate: bool = True,
+    transport: str | Transport | None = "simulator",
+    simulate: bool | None = None,
     trace: bool = False,
     backend: str | None = None,
     faults: FaultPlan | None = None,
@@ -224,14 +234,21 @@ def parallel_triangular_solve(
     and race-detection results are identical to the reference backend,
     and ``x`` agrees to roundoff.
 
+    ``transport`` selects the execution backend (``"simulator"`` |
+    ``"threads"`` | ``"processes"`` | ``"none"`` | a ready
+    :class:`~repro.machine.Transport`); the deprecated ``simulate=``
+    boolean maps ``True`` to ``"simulator"`` and ``False`` to
+    ``"none"`` under a :class:`DeprecationWarning`.
+
     ``faults`` arms a :class:`~repro.faults.FaultPlan` on the simulator
-    (requires ``simulate=True``); message-level faults surface as
-    :class:`~repro.faults.MessageLost` / :class:`~repro.faults.RankFailure`
-    and the journal is returned on the result.
+    (requires ``transport="simulator"``); message-level faults surface
+    as :class:`~repro.faults.MessageLost` /
+    :class:`~repro.faults.RankFailure` and the journal is returned on
+    the result.
 
     ``copy_payloads=True`` pickle round-trips every simulated message at
     post time (the serializing-transport debug oracle; requires
-    ``simulate=True``) — results are bit-identical.
+    ``transport="simulator"``) — results are bit-identical.
     """
     if factors.levels is None:
         raise ValueError(
@@ -246,18 +263,37 @@ def parallel_triangular_solve(
         raise ValueError(f"b has shape {b.shape}, expected ({n},)")
     if nranks is None:
         nranks = int(owner.max()) + 1 if owner.size else 1
-    if trace and not simulate:
-        raise ValueError("trace=True requires simulate=True")
-    if faults is not None and not simulate:
-        raise ValueError("faults= requires simulate=True")
-    if copy_payloads and not simulate:
-        raise ValueError("copy_payloads=True requires simulate=True")
-    sim = (
-        Simulator(nranks, model, trace=trace, faults=faults, copy_payloads=copy_payloads)
-        if simulate
-        else None
+    sim = resolve_entry_transport(
+        "parallel_triangular_solve",
+        transport,
+        simulate,
+        nranks,
+        model=model,
+        trace=trace,
+        faults=faults,
+        copy_payloads=copy_payloads,
     )
-    tr = sim.tracer if sim is not None else None
+    owned = not is_transport(transport)
+    try:
+        res = _solve_on(factors, b, sim, nranks, backend)
+        res.transport = transport_name(sim)
+        return res
+    finally:
+        if owned and sim is not None:
+            sim.close()
+
+
+def _solve_on(
+    factors: ILUFactors,
+    b: np.ndarray,
+    sim,
+    nranks: int,
+    backend: str | None,
+) -> TriangularSolveResult:
+    """Run the substitution against a resolved transport (or ``None``)."""
+    levels = factors.levels
+    owner = levels.owner
+    tr = getattr(sim, "tracer", None)
     L, U = factors.L, factors.U
     # Per-rank accumulator instead of a shared nonlocal: every charge is
     # integer-valued, so the final sum is exact and order-independent.
@@ -273,39 +309,143 @@ def parallel_triangular_solve(
     if resolve_backend(backend) == VECTORIZED:
         return _solve_vectorized(factors, b, sim, tr)
 
+    # Reference backend: every sweep stage is a parallel region of pure
+    # per-rank thunks (read-shared vector, return own entries); the
+    # coordinator merges in the historical inline order and replays
+    # declarations/charges there — bit-identical on every transport.
+    def pardo(thunks):
+        if sim is not None:
+            return sim.pardo(thunks)
+        return [f() if f is not None else None for f in thunks]
+
     # ------------------------------------------------------- forward
     bp = b[factors.perm]
     y = bp.copy()
-    # interior blocks: independent across ranks
+
+    # interior blocks: independent across ranks; each thunk solves its
+    # own contiguous block against a private copy of the segment
+    def fwd_interior(s: int, e: int) -> tuple[np.ndarray, float]:
+        seg = y[s:e].copy()
+        fl = 0.0
+        for i in range(s, e):
+            cols, vals = L.row(i)
+            if cols.size:
+                # interior L columns stay within the owner's block by
+                # construction; gather defensively so an out-of-block
+                # column reads the shared vector instead of mis-indexing
+                xv = np.empty(cols.size)
+                in_blk = cols >= s
+                xv[in_blk] = seg[cols[in_blk] - s]
+                xv[~in_blk] = y[cols[~in_blk]]
+                seg[i - s] -= np.dot(vals, xv)
+                fl += 2 * cols.size
+        return seg, fl
+
+    fwd_thunks: list = [None] * nranks
+    for (s, e) in levels.interior_ranges:
+        if s == e:
+            continue
+        fwd_thunks[int(owner[s])] = lambda s=s, e=e: fwd_interior(s, e)
+    fwd_results = pardo(fwd_thunks)
     for (s, e) in levels.interior_ranges:
         if s == e:
             continue
         rank = int(owner[s])
-        fl = 0
-        for i in range(s, e):
-            cols, vals = L.row(i)
-            if cols.size:
-                if tr is not None:
+        seg, fl = fwd_results[rank]
+        if tr is not None:
+            for i in range(s, e):
+                cols, _ = L.row(i)
+                if cols.size:
                     tr.read_many(rank, "x", cols)
-                y[i] -= np.dot(vals, y[cols])
-                fl += 2 * cols.size
-            if tr is not None:
                 tr.write(rank, "x", i)
+        y[s:e] = seg
         charge(rank, fl)
     if sim is not None:
         sim.barrier()
 
+    def solve_level(vec: np.ndarray, M, positions, backward: bool) -> dict[int, float]:
+        """Solve one interface level as parallel sub-rounds.
+
+        The elimination engine's levels are true dependency levels, but
+        interface-partitioned factors carry intra-level couplings that
+        the historical inline loop resolved sequentially in ``positions``
+        order.  Execution here splits the level into dependency
+        sub-rounds (each a genuine parallel region); every row still
+        reads only *final* dependency values, so the computed entries are
+        bit-identical to the inline sweep.  Charges and messages stay at
+        the original level granularity — sub-rounds are an execution
+        detail, not part of the cost model.
+        """
+        order = [int(p) for p in (positions[::-1] if backward else positions)]
+        seqno = {p: k for k, p in enumerate(order)}
+        depth: dict[int, int] = {}
+        rounds: list[list[int]] = []
+        for p in order:
+            cols = M.row(p)[0]
+            deps = cols[1:] if backward else cols
+            cdepths = [depth[int(c)] for c in deps if int(c) in depth]
+            d = (max(cdepths) + 1) if cdepths else 0
+            depth[p] = d
+            while len(rounds) <= d:
+                rounds.append([])
+            rounds[d].append(p)
+
+        newvals: dict[int, float] = {}
+
+        def round_thunk(rows: list[int]):
+            def thunk() -> list[tuple[int, float]]:
+                out = []
+                for p in rows:
+                    cols, vals = M.row(p)
+                    deps = cols[1:] if backward else cols
+                    v = vec[p]
+                    if deps.size:
+                        # a same-level dep earlier in inline order is
+                        # final in newvals (strictly smaller depth); one
+                        # later in inline order must read the pre-sweep
+                        # value, exactly as the inline loop did
+                        k = seqno[p]
+                        xv = np.array(
+                            [
+                                newvals[int(c)]
+                                if seqno.get(int(c), k) < k
+                                else vec[c]
+                                for c in deps
+                            ],
+                            dtype=np.float64,
+                        )
+                        v -= np.dot(vals[1:] if backward else vals, xv)
+                    if backward:
+                        v /= vals[0]
+                    out.append((p, v))
+                return out
+
+            return thunk
+
+        for rnd in rounds:
+            rows_by_rank: list[list[int]] = [[] for _ in range(nranks)]
+            for p in rnd:
+                rows_by_rank[int(owner[p])].append(p)
+            res = pardo(
+                [round_thunk(rows) if rows else None for rows in rows_by_rank]
+            )
+            for rr in res:
+                if rr:
+                    for p, v in rr:
+                        newvals[p] = v
+        return newvals
+
     l_consumers = _column_consumers(L, owner) if sim is not None else {}
     for lvl_idx, positions in enumerate(levels.interface_levels):
+        newvals = solve_level(y, L, positions, backward=False)
         per_rank_fl: dict[int, float] = {}
         for p in positions:
-            cols, vals = L.row(int(p))
-            if cols.size:
-                if tr is not None:
-                    tr.read_many(int(owner[p]), "x", cols)
-                y[p] -= np.dot(vals, y[cols])
+            cols, _vals = L.row(int(p))
             if tr is not None:
+                if cols.size:
+                    tr.read_many(int(owner[p]), "x", cols)
                 tr.write(int(owner[p]), "x", int(p))
+            y[p] = newvals[int(p)]
             per_rank_fl[int(owner[p])] = per_rank_fl.get(int(owner[p]), 0.0) + 2.0 * cols.size
         for rank, fl in sorted(per_rank_fl.items()):
             charge(rank, fl)
@@ -322,17 +462,16 @@ def parallel_triangular_solve(
     u_consumers = _column_consumers(U, owner) if sim is not None else {}
     for lvl_idx in range(len(levels.interface_levels) - 1, -1, -1):
         positions = levels.interface_levels[lvl_idx]
+        newvals = solve_level(x, U, positions, backward=True)
         per_rank_fl = {}
         for p in positions[::-1]:
-            cols, vals = U.row(int(p))
+            cols, _vals = U.row(int(p))
             # diagonal stored first (position p itself)
-            if cols.size > 1:
-                if tr is not None:
-                    tr.read_many(int(owner[p]), "x", cols[1:])
-                x[p] -= np.dot(vals[1:], x[cols[1:]])
-            x[p] /= vals[0]
             if tr is not None:
+                if cols.size > 1:
+                    tr.read_many(int(owner[p]), "x", cols[1:])
                 tr.write(int(owner[p]), "x", int(p))
+            x[p] = newvals[int(p)]
             per_rank_fl[int(owner[p])] = (
                 per_rank_fl.get(int(owner[p]), 0.0) + 2.0 * (cols.size - 1) + 1.0
             )
@@ -346,21 +485,44 @@ def parallel_triangular_solve(
             for (src, dst), _w in sorted(words.items()):
                 sim.recv(dst, src, tag=("bwd", lvl_idx))
             sim.barrier()
-    for (s, e) in levels.interior_ranges:
-        if s == e:
-            continue
-        rank = int(owner[s])
+
+    def bwd_interior(s: int, e: int) -> tuple[np.ndarray, float]:
+        seg = x[s:e].copy()
         fl = 0.0
         for i in range(e - 1, s - 1, -1):
             cols, vals = U.row(i)
             if cols.size > 1:
-                if tr is not None:
-                    tr.read_many(rank, "x", cols[1:])
-                x[i] -= np.dot(vals[1:], x[cols[1:]])
-            x[i] /= vals[0]
-            if tr is not None:
-                tr.write(rank, "x", i)
+                # U rows of the interior block may reference interface
+                # columns past the block end — those are final in the
+                # shared vector by the time this region runs
+                c = cols[1:]
+                xv = np.empty(c.size)
+                in_blk = c < e
+                xv[in_blk] = seg[c[in_blk] - s]
+                xv[~in_blk] = x[c[~in_blk]]
+                seg[i - s] -= np.dot(vals[1:], xv)
+            seg[i - s] /= vals[0]
             fl += 2.0 * (cols.size - 1) + 1.0
+        return seg, fl
+
+    bwd_thunks: list = [None] * nranks
+    for (s, e) in levels.interior_ranges:
+        if s == e:
+            continue
+        bwd_thunks[int(owner[s])] = lambda s=s, e=e: bwd_interior(s, e)
+    bwd_results = pardo(bwd_thunks)
+    for (s, e) in levels.interior_ranges:
+        if s == e:
+            continue
+        rank = int(owner[s])
+        seg, fl = bwd_results[rank]
+        if tr is not None:
+            for i in range(e - 1, s - 1, -1):
+                cols, _ = U.row(i)
+                if cols.size > 1:
+                    tr.read_many(rank, "x", cols[1:])
+                tr.write(rank, "x", i)
+        x[s:e] = seg
         charge(rank, fl)
     if sim is not None:
         sim.barrier()
@@ -373,5 +535,5 @@ def parallel_triangular_solve(
         comm=sim.stats() if sim is not None else None,
         flops=float(flops_rank.sum()),
         trace=tr,
-        fault_journal=sim.fault_journal if sim is not None else None,
+        fault_journal=getattr(sim, "fault_journal", None),
     )

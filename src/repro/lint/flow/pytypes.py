@@ -47,7 +47,7 @@ UNSAFE_KINDS: dict[str, str] = {
     "generator": "generators cannot be pickled",
     "lambda": "lambdas cannot be pickled",
     "file": "open file handles cannot be pickled",
-    "simulator": "a live Simulator handle must not cross the transport",
+    "simulator": "a live Simulator/Transport handle must not cross the transport",
     "thread": "thread objects cannot be pickled",
     "module": "module objects cannot be pickled",
 }
@@ -81,7 +81,23 @@ UNKNOWN = AbsType("unknown")
 _LOCK_CTORS = frozenset({"Lock", "RLock", "Semaphore", "BoundedSemaphore", "Condition"})
 _THREAD_CTORS = frozenset({"Thread", "Timer", "Process", "Pool", "ThreadPoolExecutor"})
 _FILE_CTORS = frozenset({"open"})
+# note: result dataclasses carry a *string* ``.transport`` field, so the
+# bare word "transport" must NOT imply a live handle here
 _SIM_NAMES = frozenset({"sim", "simulator", "machine"})
+#: Constructors/factories that yield a live transport handle — as
+#: un-picklable (and as forbidden inside a posted payload) as a bare
+#: ``Simulator``: a worker holding one could issue coordinator-context
+#: calls, which every real backend rejects.
+_TRANSPORT_CTORS = frozenset(
+    {
+        "Simulator",
+        "ThreadTransport",
+        "ProcessTransport",
+        "LocalTransport",
+        "resolve_transport",
+        "resolve_entry_transport",
+    }
+)
 
 #: numpy constructors whose default dtype is float64 — deterministic
 #: across platforms, so an implicit dtype is tolerated.
@@ -235,7 +251,7 @@ def _call_type(call: ast.Call, env: dict[str, AbsType]) -> AbsType:
         return AbsType("thread")
     if name in _FILE_CTORS and isinstance(call.func, ast.Name):
         return AbsType("file")
-    if name == "Simulator":
+    if name in _TRANSPORT_CTORS:
         return AbsType("simulator")
     if name in _NDARRAY_CTORS and _is_numpy_call(call):
         return _ndarray_type(call, env)
@@ -327,7 +343,7 @@ def _merge(a: AbsType, b: AbsType) -> AbsType:
 def _annotation_type(ann: ast.expr) -> AbsType:
     name = dotted_name(ann)
     leaf = name.rsplit(".", 1)[-1] if name else ""
-    if leaf == "Simulator":
+    if leaf in ("Simulator", "Transport", "ThreadTransport", "ProcessTransport"):
         return AbsType("simulator")
     if leaf == "ndarray":
         return AbsType("ndarray")

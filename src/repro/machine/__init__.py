@@ -1,9 +1,32 @@
-"""Distributed-memory machine simulator: per-rank virtual clocks,
-message passing and collectives, driven by an analytic cost model
-(Cray T3D preset and others)."""
+"""Distributed-memory machine layer: the transport abstraction behind
+the SPMD drivers.
+
+Three interchangeable transports implement one contract (see
+``transport.py`` / DESIGN.md §13): the cost-model :class:`Simulator`
+(per-rank virtual clocks, Cray T3D preset and others; the deterministic
+oracle and the only fault/race-instrumented backend), the
+:class:`ThreadTransport` (one worker thread per rank), and the
+:class:`ProcessTransport` (forked worker processes, shared-memory
+arrays).  ``resolve_transport`` maps the drivers' ``transport=``
+keyword onto an instance.
+"""
 
 from .model import CRAY_T3D, IDEAL, WORKSTATION_CLUSTER, MachineModel
+from .processes import ProcessTransport
 from .simulator import CommStats, Simulator, SimulatorSnapshot
+from .threads import ThreadTransport
+from .transport import (
+    TRANSPORT_NAMES,
+    LocalTransport,
+    Transport,
+    TransportCapabilityError,
+    TransportError,
+    TransportWorkerError,
+    is_transport,
+    resolve_entry_transport,
+    resolve_transport,
+    transport_name,
+)
 
 __all__ = [
     "MachineModel",
@@ -13,4 +36,16 @@ __all__ = [
     "Simulator",
     "CommStats",
     "SimulatorSnapshot",
+    "Transport",
+    "LocalTransport",
+    "ThreadTransport",
+    "ProcessTransport",
+    "TransportError",
+    "TransportCapabilityError",
+    "TransportWorkerError",
+    "is_transport",
+    "resolve_transport",
+    "resolve_entry_transport",
+    "transport_name",
+    "TRANSPORT_NAMES",
 ]

@@ -1,0 +1,254 @@
+"""Fork-per-region multiprocessing transport (``transport="processes"``).
+
+Each ``pardo`` forks one child process per active rank.  Fork semantics
+do the heavy lifting: the child inherits the coordinator's entire state
+as a copy-on-write snapshot, so the drivers' thunks — closures over
+engine state that would not survive pickling — run unmodified.  Only
+the *results* cross the process boundary, pickled over a one-way pipe;
+PR 7's TRN002 certification guarantees every certified driver's
+payloads and returns are pickle-safe.  Large numpy operands skip the
+pipe and travel through POSIX shared memory (:mod:`multiprocessing.shared_memory`).
+
+Because children are forked fresh per region and never see each other,
+worker-context messaging is impossible here: a thunk calling ``send`` /
+``recv`` / ``barrier`` raises :class:`TransportError`.  The certified
+drivers keep all communication in coordinator context between regions
+(the mpi4py-shaped superstep structure), so this is a non-restriction
+for them — and a loud error for any driver that violates the contract.
+
+Each child ships back ``(result, flops_delta)`` so per-rank ``compute``
+charges made inside the region survive; the coordinator folds the
+deltas into its counters in rank order.
+"""
+
+from __future__ import annotations
+
+import io
+import multiprocessing
+import os
+import pickle
+import sys
+import traceback
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from .transport import LocalTransport, TransportError, TransportWorkerError
+
+__all__ = ["ProcessTransport"]
+
+#: arrays at or above this byte size return via shared memory, not the pipe
+SHM_THRESHOLD_BYTES = 64 * 1024
+
+
+class _ShmRef:
+    """Pickle-light stand-in for a large ndarray returned from a child."""
+
+    __slots__ = ("shm_name", "shape", "dtype")
+
+    def __init__(self, shm_name: str, shape: tuple, dtype: str) -> None:
+        self.shm_name = shm_name
+        self.shape = shape
+        self.dtype = dtype
+
+
+class _ShmPickler(pickle.Pickler):
+    """Detours large contiguous float/int arrays through shared memory."""
+
+    def __init__(self, file: io.BytesIO, shm_names: list[str]) -> None:
+        super().__init__(file, protocol=pickle.HIGHEST_PROTOCOL)
+        self._shm_names = shm_names
+
+    def persistent_id(self, obj: Any) -> Any:
+        if (
+            isinstance(obj, np.ndarray)
+            and obj.flags.c_contiguous
+            and obj.dtype.hasobject is False
+            and obj.nbytes >= SHM_THRESHOLD_BYTES
+        ):
+            from multiprocessing import shared_memory
+
+            shm = shared_memory.SharedMemory(create=True, size=obj.nbytes)
+            view = np.ndarray(obj.shape, dtype=obj.dtype, buffer=shm.buf)
+            view[...] = obj
+            name = shm.name
+            self._shm_names.append(name)
+            # the child exits right after writing; detach its tracker
+            # registration so the segment isn't unlinked out from under
+            # the parent when the child's resource_tracker reaps it
+            try:
+                from multiprocessing import resource_tracker
+
+                resource_tracker.unregister(shm._name, "shared_memory")  # type: ignore[attr-defined]
+            except Exception:
+                pass
+            shm.close()
+            return _ShmRef(name, obj.shape, obj.dtype.str)
+        return None
+
+
+class _ShmUnpickler(pickle.Unpickler):
+    """Parent-side twin: materialises ``_ShmRef`` and unlinks segments."""
+
+    def persistent_load(self, pid: Any) -> Any:
+        if isinstance(pid, _ShmRef):
+            from multiprocessing import shared_memory
+
+            shm = shared_memory.SharedMemory(name=pid.shm_name)
+            try:
+                view = np.ndarray(pid.shape, dtype=np.dtype(pid.dtype), buffer=shm.buf)
+                arr = view.copy()
+            finally:
+                shm.close()
+                try:
+                    shm.unlink()
+                except FileNotFoundError:  # pragma: no cover
+                    pass
+            return arr
+        raise pickle.UnpicklingError(f"unknown persistent id {pid!r}")
+
+
+def _shm_dumps(obj: Any) -> bytes:
+    buf = io.BytesIO()
+    names: list[str] = []
+    try:
+        _ShmPickler(buf, names).dump(obj)
+    except Exception:
+        # roll back any segments already created for this object
+        from multiprocessing import shared_memory
+
+        for name in names:
+            try:
+                seg = shared_memory.SharedMemory(name=name)
+                seg.close()
+                seg.unlink()
+            except FileNotFoundError:
+                pass
+        raise
+    return buf.getvalue()
+
+
+def _shm_loads(data: bytes) -> Any:
+    return _ShmUnpickler(io.BytesIO(data)).load()
+
+
+class ProcessTransport(LocalTransport):
+    """Real multi-process execution of the SPMD parallel regions."""
+
+    name = "processes"
+
+    def __init__(self, nranks: int) -> None:
+        super().__init__(nranks)
+        if "fork" not in multiprocessing.get_all_start_methods():
+            raise TransportError(
+                "ProcessTransport requires the fork start method "
+                "(POSIX only); use transport='threads' instead"
+            )
+        self._ctx = multiprocessing.get_context("fork")
+        self._in_child = False
+
+    # -- worker-context comm is a contract violation --------------------
+
+    def _in_worker(self) -> bool:
+        return self._in_child
+
+    def _forbid_in_child(self, op: str) -> None:
+        if self._in_child:
+            raise TransportError(
+                f"{op} is unavailable inside a process-transport parallel "
+                "region: forked ranks are isolated; keep communication in "
+                "coordinator context between regions (DESIGN.md §13)"
+            )
+
+    def send(self, src: int, dst: int, payload: Any, nwords: float, tag: Any = None) -> None:
+        self._forbid_in_child("send")
+        super().send(src, dst, payload, nwords, tag=tag)
+
+    def recv(self, dst: int, src: int, tag: Any = None) -> Any:
+        self._forbid_in_child("recv")
+        return super().recv(dst, src, tag=tag)
+
+    def barrier(self) -> None:
+        self._forbid_in_child("barrier")
+        super().barrier()
+
+    # -- parallel region ----------------------------------------------
+
+    def pardo(self, thunks: Sequence[Callable[[], Any] | None]) -> list[Any]:
+        """Fork one child per active rank; results merge in rank order.
+
+        Each child runs its thunk against the inherited copy-on-write
+        state and writes ``(ok, result_or_traceback, flops_delta)`` back
+        length-prefixed over a pipe.  The parent reads pipes in rank
+        order, folds the flops deltas into its counters, and re-raises
+        the lowest failing rank's exception.
+        """
+        self._check_thunks(thunks)
+        active = [r for r, f in enumerate(thunks) if f is not None]
+        if not active:
+            return [None] * self.nranks
+
+        # fork duplicates buffered stdio; flush so children don't replay it
+        sys.stdout.flush()
+        sys.stderr.flush()
+
+        pipes: dict[int, Any] = {}
+        procs: dict[int, Any] = {}
+        for r in active:
+            rd, wr = self._ctx.Pipe(duplex=False)
+            proc = self._ctx.Process(
+                target=self._child_main,
+                args=(r, thunks[r], wr),
+                name=f"repro-rank-{r}",
+            )
+            proc.start()
+            wr.close()  # parent keeps only the read end
+            pipes[r] = rd
+            procs[r] = proc
+
+        results: list[Any] = [None] * self.nranks
+        failures: dict[int, BaseException] = {}
+        for r in active:
+            rd = pipes[r]
+            try:
+                blob = rd.recv_bytes()
+            except EOFError:
+                procs[r].join()
+                failures[r] = TransportWorkerError(
+                    r, f"child exited without a result (exitcode={procs[r].exitcode})"
+                )
+                continue
+            finally:
+                rd.close()
+            ok, payload, flops_delta = _shm_loads(blob)
+            self._flops[r] += flops_delta
+            if ok:
+                results[r] = payload
+            else:
+                exc_type_name, message, tb_text = payload
+                failures[r] = TransportWorkerError(
+                    r, f"{exc_type_name}: {message}\n{tb_text}"
+                )
+        for r in active:
+            procs[r].join()
+        if failures:
+            raise failures[min(failures)]
+        return results
+
+    def _child_main(self, rank: int, thunk: Callable[[], Any], wr: Any) -> None:
+        self._in_child = True
+        flops_before = float(self._flops[rank])
+        try:
+            result = thunk()
+            flops_delta = float(self._flops[rank]) - flops_before
+            blob = _shm_dumps((True, result, flops_delta))
+        except BaseException as exc:  # noqa: BLE001 - serialised to parent
+            flops_delta = float(self._flops[rank]) - flops_before
+            info = (type(exc).__name__, str(exc), traceback.format_exc())
+            blob = _shm_dumps((False, info, flops_delta))
+        try:
+            wr.send_bytes(blob)
+            wr.close()
+        finally:
+            # hard-exit: skip atexit/GC that could touch inherited state
+            os._exit(0)

@@ -67,7 +67,7 @@ from __future__ import annotations
 import pickle
 from collections import defaultdict, deque
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Iterable
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Sequence
 
 import numpy as np
 
@@ -127,7 +127,20 @@ class SimulatorSnapshot:
 
 
 class Simulator:
-    """A virtual ``nranks``-PE distributed-memory machine."""
+    """A virtual ``nranks``-PE distributed-memory machine.
+
+    Conforms structurally to the :class:`~repro.machine.transport.Transport`
+    contract (it predates the abstraction and is not a subclass).  It is
+    the deterministic oracle of the transport family: the only backend
+    carrying the cost model, fault injection and race tracing, and the
+    reference the real transports' results are bit-compared against.
+    """
+
+    #: transport-contract identity (see repro.machine.transport)
+    name = "simulator"
+    supports_faults = True
+    supports_trace = True
+    is_simulated = True
 
     def __init__(
         self,
@@ -222,6 +235,37 @@ class Simulator:
             raise ValueError("seconds must be non-negative")
         self._guard_rank(rank)
         self.clock[rank] += seconds
+
+    def pardo(self, thunks: Sequence[Callable[[], Any] | None]) -> list[Any]:
+        """Execute one parallel region: one thunk per rank, ``None`` = idle.
+
+        The simulator is the deterministic oracle of the transport
+        family: thunks run *sequentially in rank order* on the
+        coordinator thread.  Combined with the drivers' read-shared /
+        write-own discipline (a thunk returns its updates rather than
+        mutating shared state), this fixes the reference semantics that
+        :class:`~repro.machine.threads.ThreadTransport` and
+        :class:`~repro.machine.processes.ProcessTransport` must
+        reproduce bit for bit.  Rank clocks are independent between
+        synchronisation points, so sequential execution is
+        indistinguishable from concurrent execution under the cost
+        model; fault scheduling keys on the superstep clock, which a
+        region does not advance.
+        """
+        if len(thunks) != self.nranks:
+            raise ValueError(
+                f"pardo expects one thunk per rank ({self.nranks}), got {len(thunks)}"
+            )
+        return [f() if f is not None else None for f in thunks]
+
+    def close(self) -> None:
+        """Transport-contract conformance: the simulator holds no workers."""
+
+    def __enter__(self) -> "Simulator":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # point-to-point

@@ -1,0 +1,147 @@
+"""One-worker-thread-per-rank transport (``transport="threads"``).
+
+Each rank gets a persistent worker thread fed through a task queue; a
+``pardo`` dispatches one thunk per rank and joins on completion.  Point-
+to-point messages match through the shared condition-guarded mailboxes
+of :class:`~repro.machine.transport.LocalTransport` — a worker-context
+``recv`` genuinely blocks until the matching ``send`` lands (with a
+deadlock timeout), and ``barrier`` called from worker context is a real
+:class:`threading.Barrier` across the ranks participating in the
+current parallel region.
+
+Payloads are delivered **by reference**: the ranks share one address
+space, so a message is the object itself, exactly like the simulator's
+default (non-``copy_payloads``) mode.  The drivers' read-shared /
+write-own discipline (DESIGN.md §13) is what keeps this safe — thunks
+never mutate coordinator state, they return updates that the
+coordinator merges in rank order, which is also what makes the factors
+bit-identical to the simulator's.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Any, Callable, Sequence
+
+from .transport import LocalTransport, TransportError, TransportWorkerError
+
+__all__ = ["ThreadTransport"]
+
+_STOP = object()
+
+
+class ThreadTransport(LocalTransport):
+    """Real threaded execution of the SPMD drivers' parallel regions."""
+
+    name = "threads"
+    #: thunks share one address space and run concurrently — drivers must
+    #: not share scratch state (accumulators) between region thunks
+    concurrent_regions = True
+
+    def __init__(self, nranks: int) -> None:
+        super().__init__(nranks)
+        self._local = threading.local()
+        self._tasks: list[queue.Queue] = [queue.Queue() for _ in range(self.nranks)]
+        self._done: queue.Queue = queue.Queue()
+        self._region_barrier: threading.Barrier | None = None
+        self._closed = False
+        self._workers = [
+            threading.Thread(
+                target=self._worker_loop, args=(r,), name=f"repro-rank-{r}", daemon=True
+            )
+            for r in range(self.nranks)
+        ]
+        for w in self._workers:
+            w.start()
+
+    # -- worker machinery ---------------------------------------------
+
+    def _worker_loop(self, rank: int) -> None:
+        self._local.rank = rank
+        while True:
+            task = self._tasks[rank].get()
+            if task is _STOP:
+                return
+            seq, thunk = task
+            try:
+                result = thunk()
+            except BaseException as exc:  # noqa: BLE001 - forwarded to coordinator
+                self._done.put((seq, rank, False, exc))
+            else:
+                self._done.put((seq, rank, True, result))
+
+    def _in_worker(self) -> bool:
+        return getattr(self._local, "rank", None) is not None
+
+    def current_rank(self) -> int | None:
+        """The rank of the calling worker thread (None in the coordinator)."""
+        return getattr(self._local, "rank", None)
+
+    # -- parallel region ----------------------------------------------
+
+    def pardo(self, thunks: Sequence[Callable[[], Any] | None]) -> list[Any]:
+        """Run one thunk per rank concurrently; results in rank order.
+
+        A raising thunk's exception is re-raised in the coordinator —
+        lowest failing rank first, after all participants finish, so a
+        failure cannot leave a worker wedged mid-region.
+        """
+        self._check_thunks(thunks)
+        if self._closed:
+            raise TransportError("transport is closed")
+        active = [r for r, f in enumerate(thunks) if f is not None]
+        if not active:
+            return [None] * self.nranks
+        seq = object()  # unique token ties results to this region
+        self._region_barrier = threading.Barrier(len(active)) if len(active) > 1 else None
+        try:
+            for r in active:
+                self._tasks[r].put((seq, thunks[r]))
+            results: list[Any] = [None] * self.nranks
+            failures: dict[int, BaseException] = {}
+            for _ in active:
+                got_seq, rank, ok, value = self._done.get()
+                if got_seq is not seq:  # pragma: no cover - defensive
+                    raise TransportError("cross-region result leak")
+                if ok:
+                    results[rank] = value
+                else:
+                    failures[rank] = value
+            if failures:
+                rank = min(failures)
+                exc = failures[rank]
+                if isinstance(exc, Exception):
+                    raise exc
+                raise TransportWorkerError(rank, repr(exc))
+            return results
+        finally:
+            self._region_barrier = None
+
+    # -- collectives from worker context -------------------------------
+
+    def _sync_workers(self) -> bool:
+        if not self._in_worker():
+            return True
+        bar = self._region_barrier
+        if bar is None:
+            return True  # single-rank region: trivially synchronised
+        try:
+            # Barrier.wait returns a unique 0..parties-1 index; exactly
+            # one participant (index 0) accounts the barrier.
+            return bar.wait(timeout=self.recv_timeout) == 0
+        except threading.BrokenBarrierError as exc:
+            raise TransportError(
+                "barrier broken: a participating rank failed or timed out"
+            ) from exc
+
+    # -- lifecycle -----------------------------------------------------
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for q in self._tasks:
+            q.put(_STOP)
+        for w in self._workers:
+            w.join(timeout=5.0)

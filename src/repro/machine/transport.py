@@ -1,0 +1,560 @@
+"""The transport abstraction behind the SPMD API (ROADMAP item 1).
+
+Every parallel driver in this reproduction is a *centralised* SPMD
+program: one coordinator loop drives ``nranks`` ranks through
+alternating **parallel regions** (per-rank local numerics) and
+**communication supersteps** (point-to-point messages, barriers,
+collectives).  This module extracts the contract those drivers actually
+use from :class:`~repro.machine.simulator.Simulator` into a
+:class:`Transport` protocol with three interchangeable implementations:
+
+``Simulator`` (``transport="simulator"``)
+    The deterministic oracle.  Executes parallel regions sequentially in
+    rank order, maintains per-rank virtual clocks driven by a
+    :class:`~repro.machine.model.MachineModel`, and keeps **exclusive
+    ownership of fault injection, race tracing and the cost model**.
+
+``ThreadTransport`` (``transport="threads"``)
+    One persistent worker thread per rank; parallel regions execute
+    concurrently on the workers, messages match through real
+    condition-guarded mailboxes keyed on ``(src, dst, tag)``.
+
+``ProcessTransport`` (``transport="processes"``)
+    One forked worker process per rank per parallel region; thunk
+    results travel back pickled (the TRN002 certification from the
+    transport-portability analyzer guarantees the payloads survive
+    this), with large numpy operands handed over through POSIX shared
+    memory instead of the pipe.
+
+The contract (DESIGN.md §13)
+----------------------------
+A transport provides:
+
+* ``pardo(thunks)`` — the parallel region: ``nranks`` zero-argument
+  callables, one per rank (``None`` for an idle rank), executed with
+  **read-shared / write-own** semantics: a thunk may read any
+  coordinator state but must mutate nothing — it *returns* its updates,
+  and the coordinator merges them in deterministic rank order.  This is
+  the discipline that makes the three transports bit-identical.
+* the messaging surface ``send`` / ``recv`` / ``exchange`` / ``barrier``
+  / ``allreduce`` / ``allgather`` and the accounting surface ``compute``
+  / ``advance`` / ``superstep`` / ``elapsed`` / ``stats``;
+* the tracing hooks ``declare_read`` / ``declare_write`` (no-ops except
+  on a tracing simulator) and ``snapshot`` / ``restore`` for the
+  checkpoint layer.
+
+``resolve_transport`` is the single entry-point factory the
+``transport=`` keyword of every ``parallel_*`` driver goes through; it
+raises the typed :class:`TransportCapabilityError` when ``faults=`` or
+``trace=True`` is combined with a backend that cannot honour it — the
+simulator is the only fault/race-instrumented transport.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import warnings
+from collections import defaultdict, deque
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Sequence
+
+import numpy as np
+
+from .model import CRAY_T3D, MachineModel
+from .simulator import CommStats
+
+if TYPE_CHECKING:
+    from ..faults import FaultJournal, FaultPlan
+    from ..verify.trace import AccessTracer
+
+__all__ = [
+    "Transport",
+    "LocalTransport",
+    "TransportError",
+    "TransportCapabilityError",
+    "TransportWorkerError",
+    "TransportSnapshot",
+    "is_transport",
+    "resolve_transport",
+    "resolve_entry_transport",
+    "transport_name",
+    "TRANSPORT_NAMES",
+]
+
+#: The spellings ``resolve_transport`` accepts as strings.  ``"none"``
+#: (or ``None``) runs the identical algorithm with no transport at all —
+#: the old ``simulate=False`` fast path used heavily in tests.
+TRANSPORT_NAMES = ("simulator", "threads", "processes", "none")
+
+
+class TransportError(RuntimeError):
+    """A transport-layer failure (deadlock, worker death, misuse)."""
+
+
+class TransportCapabilityError(TransportError, ValueError):
+    """A feature was requested from a transport that cannot honour it.
+
+    Raised by :func:`resolve_transport` when ``faults=`` or
+    ``trace=True`` (or ``copy_payloads=True``) is combined with a
+    non-simulator transport: the simulator is the only backend carrying
+    the fault harness and the race tracer, and silently ignoring the
+    request would certify nothing.  Subclasses :class:`ValueError` so
+    legacy callers catching the old validation error keep working.
+    """
+
+
+class TransportWorkerError(TransportError):
+    """A worker rank died with an exception that could not be re-raised.
+
+    Carries the rank and the worker-side traceback text.
+    """
+
+    def __init__(self, rank: int, message: str) -> None:
+        super().__init__(f"rank {rank} failed: {message}")
+        self.rank = rank
+
+
+class TransportSnapshot:
+    """Frozen counter + mailbox state of a real (non-simulated) transport."""
+
+    __slots__ = ("flops", "mail", "messages", "words", "barriers", "collectives")
+
+    def __init__(self, flops, mail, messages, words, barriers, collectives) -> None:
+        self.flops = flops
+        self.mail = mail
+        self.messages = messages
+        self.words = words
+        self.barriers = barriers
+        self.collectives = collectives
+
+
+class Transport:
+    """Structural base/documentation class for the transport contract.
+
+    :class:`~repro.machine.simulator.Simulator` conforms structurally
+    without inheriting (it predates this module and tests construct it
+    directly); the real backends subclass :class:`LocalTransport`.
+    ``isinstance`` checks are therefore deliberately avoided — use
+    :func:`is_transport` / :func:`resolve_transport`.
+    """
+
+    #: Short spelling used in reports and ``transport=`` round-trips.
+    name: str = "abstract"
+    #: Whether :class:`~repro.faults.FaultPlan` injection is available.
+    supports_faults: bool = False
+    #: Whether ``trace=True`` race tracing is available.
+    supports_trace: bool = False
+    #: True for the modelled (virtual-clock) backend.
+    is_simulated: bool = False
+    #: True when region thunks run concurrently in one address space —
+    #: drivers must then use per-thunk scratch state (accumulators).
+    concurrent_regions: bool = False
+
+    nranks: int
+
+
+def is_transport(obj: object) -> bool:
+    """Duck-typed contract check used by :func:`resolve_transport`."""
+    return all(
+        callable(getattr(obj, meth, None))
+        for meth in ("pardo", "send", "recv", "barrier", "compute", "stats")
+    ) and hasattr(obj, "nranks")
+
+
+class LocalTransport(Transport):
+    """Shared machinery of the real in-host transports.
+
+    Maintains the same counters :class:`CommStats` reports for the
+    simulator (flops, messages, words, barriers, collectives) — without
+    a virtual clock: ``elapsed()`` is real wall-clock time since
+    construction.  Mailboxes live in the coordinator and match on
+    ``(src, dst, tag)`` exactly like the simulator's.
+
+    Subclasses implement :meth:`pardo`; everything else is common.
+    """
+
+    #: seconds a worker-context ``recv`` waits before declaring deadlock
+    recv_timeout: float = 30.0
+
+    def __init__(self, nranks: int) -> None:
+        if nranks < 1:
+            raise ValueError(f"nranks must be >= 1, got {nranks}")
+        self.nranks = int(nranks)
+        self._flops = np.zeros(self.nranks, dtype=np.float64)
+        self._mail: dict[tuple[int, int, Any], deque[tuple[Any, float]]] = defaultdict(deque)
+        self._mail_lock = threading.Lock()
+        self._mail_ready = threading.Condition(self._mail_lock)
+        self._messages = 0
+        self._words = 0.0
+        self._barriers = 0
+        self._collectives = 0
+        self._t0 = time.perf_counter()
+        # ranks never carry a tracer or fault runtime on a real transport
+        self.tracer: AccessTracer | None = None
+        self.faults = None
+
+    # -- identity ------------------------------------------------------
+
+    @property
+    def fault_journal(self) -> FaultJournal | None:
+        return None
+
+    @property
+    def superstep(self) -> int:
+        """Completed barriers + collectives (same clock as the simulator)."""
+        return self._barriers + self._collectives
+
+    def _check_rank(self, rank: int) -> int:
+        if not 0 <= rank < self.nranks:
+            raise IndexError(f"rank {rank} out of range [0, {self.nranks})")
+        return int(rank)
+
+    # -- parallel region ----------------------------------------------
+
+    def pardo(self, thunks: Sequence[Callable[[], Any] | None]) -> list[Any]:
+        raise NotImplementedError
+
+    def _check_thunks(self, thunks: Sequence[Callable[[], Any] | None]) -> None:
+        if len(thunks) != self.nranks:
+            raise ValueError(
+                f"pardo expects one thunk per rank ({self.nranks}), got {len(thunks)}"
+            )
+
+    # -- accounting (counters only; wall time is real) -----------------
+
+    def compute(self, rank: int, flops: float) -> None:
+        rank = self._check_rank(rank)
+        if flops < 0:
+            raise ValueError(f"flops must be non-negative, got {flops}")
+        self._flops[rank] += flops
+
+    def advance(self, rank: int, seconds: float) -> None:
+        self._check_rank(rank)
+        if seconds < 0:
+            raise ValueError("seconds must be non-negative")
+        # wall time is real on this transport; the modelled charge is moot
+
+    # -- point-to-point ------------------------------------------------
+
+    def _deliver(self, payload: Any) -> Any:
+        """Transport-specific payload boundary (reference vs serialized)."""
+        return payload
+
+    def send(self, src: int, dst: int, payload: Any, nwords: float, tag: Any = None) -> None:
+        src = self._check_rank(src)
+        dst = self._check_rank(dst)
+        if nwords < 0:
+            raise ValueError("nwords must be non-negative")
+        payload = self._deliver(payload)
+        with self._mail_ready:
+            self._mail[(src, dst, tag)].append((payload, float(nwords)))
+            if src != dst:
+                self._messages += 1
+                self._words += nwords
+            self._mail_ready.notify_all()
+
+    def recv(self, dst: int, src: int, tag: Any = None) -> Any:
+        dst = self._check_rank(dst)
+        src = self._check_rank(src)
+        key = (src, dst, tag)
+        deadline = time.perf_counter() + self.recv_timeout
+        with self._mail_ready:
+            while True:
+                box = self._mail.get(key)
+                if box:
+                    payload, _ = box.popleft()
+                    return payload
+                if not self._in_worker():
+                    # coordinator context: a missing message is a protocol
+                    # bug, exactly the simulator's hard deadlock error
+                    break
+                remaining = deadline - time.perf_counter()
+                if remaining <= 0:
+                    break
+                self._mail_ready.wait(remaining)
+        raise TransportError(
+            f"deadlock: rank {dst} receives from {src} (tag={tag!r}) "
+            "but no message was sent"
+        )
+
+    def exchange(
+        self, messages: list[tuple[int, int, Any, float]], tag: Any = None
+    ) -> dict[int, list[tuple[int, Any]]]:
+        """Superstep all-to-some exchange; deterministic drain order."""
+        for src, dst, payload, nwords in messages:
+            self.send(src, dst, payload, nwords, tag=tag)
+        out: dict[int, list[tuple[int, Any]]] = defaultdict(list)
+        per_dst: dict[int, list[int]] = defaultdict(list)
+        for src, dst, _, _ in messages:
+            per_dst[dst].append(src)
+        for dst in sorted(per_dst):
+            for src in per_dst[dst]:
+                out[dst].append((src, self.recv(dst, src, tag=tag)))
+        return dict(out)
+
+    # -- collectives ---------------------------------------------------
+
+    def _in_worker(self) -> bool:
+        """True when called from rank-executed (worker) context."""
+        return False
+
+    def barrier(self) -> None:
+        if self._sync_workers():
+            self._barriers += 1
+
+    def _sync_workers(self) -> bool:
+        """Hook for subclasses whose workers can reach a barrier.
+
+        Returns True when this caller should account the barrier (the
+        coordinator always does; of N workers meeting at one barrier,
+        exactly one must).
+        """
+        return True
+
+    def allreduce(self, values: np.ndarray | list, op: str = "sum") -> Any:
+        arr = np.asarray(values)
+        if arr.shape[0] != self.nranks:
+            raise ValueError(
+                f"allreduce expects one value per rank ({self.nranks}), got {arr.shape}"
+            )
+        self._collectives += 1
+        if op == "sum":
+            return arr.sum(axis=0)
+        if op == "max":
+            return arr.max(axis=0)
+        if op == "min":
+            return arr.min(axis=0)
+        if op == "or":
+            return np.logical_or.reduce(arr, axis=0)
+        raise ValueError(f"unsupported allreduce op {op!r}")
+
+    def allgather(self, values: list, nwords_each: float = 1.0) -> list:
+        if len(values) != self.nranks:
+            raise ValueError(
+                f"allgather expects one payload per rank ({self.nranks}), got {len(values)}"
+            )
+        self._collectives += 1
+        return list(values)
+
+    # -- tracing hooks (free: no tracer ever on a real transport) ------
+
+    def declare_read(self, rank: int, space: str, indices: int | Iterable[int]) -> None:
+        pass
+
+    def declare_write(self, rank: int, space: str, index: int) -> None:
+        pass
+
+    # -- checkpoint / restart ------------------------------------------
+
+    def snapshot(self) -> TransportSnapshot:
+        with self._mail_lock:
+            return TransportSnapshot(
+                flops=self._flops.copy(),
+                mail={key: deque(box) for key, box in self._mail.items() if box},
+                messages=self._messages,
+                words=self._words,
+                barriers=self._barriers,
+                collectives=self._collectives,
+            )
+
+    def restore(self, snap: TransportSnapshot, *, reason: str = "") -> None:
+        with self._mail_lock:
+            self._flops[:] = snap.flops
+            self._mail = defaultdict(
+                deque, {key: deque(box) for key, box in snap.mail.items()}
+            )
+            self._messages = snap.messages
+            self._words = snap.words
+            self._barriers = snap.barriers
+            self._collectives = snap.collectives
+
+    # -- results -------------------------------------------------------
+
+    def elapsed(self) -> float:
+        """Real wall-clock seconds since the transport was created."""
+        return time.perf_counter() - self._t0
+
+    def utilization(self) -> np.ndarray:
+        """Unknown on a real transport — reported as all-ones."""
+        return np.ones(self.nranks)
+
+    def pending_messages(self) -> int:
+        with self._mail_lock:
+            return sum(len(q) for q in self._mail.values())
+
+    def stats(self) -> CommStats:
+        return CommStats(
+            nranks=self.nranks,
+            total_flops=float(self._flops.sum()),
+            messages=self._messages,
+            words_sent=self._words,
+            barriers=self._barriers,
+            collectives=self._collectives,
+            per_rank_flops=[float(f) for f in self._flops],
+        )
+
+    # -- lifecycle -----------------------------------------------------
+
+    def close(self) -> None:
+        """Release worker resources; the transport is unusable after."""
+
+    def __enter__(self) -> "LocalTransport":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+def transport_name(transport: object | None) -> str:
+    """The report-facing name of a transport instance (``"none"`` for no
+    accounting), tolerating bare Simulators that predate ``.name``."""
+    if transport is None:
+        return "none"
+    return getattr(transport, "name", type(transport).__name__.lower())
+
+
+def resolve_transport(
+    spec: object,
+    nranks: int,
+    *,
+    model: MachineModel = CRAY_T3D,
+    trace: bool = False,
+    faults: "FaultPlan | None" = None,
+    copy_payloads: bool = False,
+):
+    """Resolve a ``transport=`` argument into a transport instance.
+
+    Parameters
+    ----------
+    spec:
+        ``"simulator"`` | ``"threads"`` | ``"processes"`` | ``"none"`` |
+        ``None`` | a ready :class:`Transport` / ``Simulator`` instance.
+        ``"none"``/``None`` returns ``None`` — run the identical
+        algorithm with no transport (the legacy ``simulate=False``).
+    nranks:
+        Rank count a string spec is instantiated with; an instance must
+        already match it.
+    model, trace, faults, copy_payloads:
+        Simulator configuration.  Requesting any of ``trace``/``faults``/
+        ``copy_payloads`` from a transport that cannot honour it raises
+        the typed :class:`TransportCapabilityError` instead of silently
+        ignoring the request — the simulator is the only fault/race-
+        instrumented backend (DESIGN.md §13).
+
+    Returns
+    -------
+    A transport instance, or ``None`` for the accounting-free path.
+    """
+    from .simulator import Simulator
+
+    def _require_simulator(cap: str) -> None:
+        raise TransportCapabilityError(
+            f"{cap} requires the simulator transport "
+            f"(got transport={transport_name(spec) if not isinstance(spec, str) else spec!r}); "
+            "the simulator is the only fault/race-instrumented backend"
+        )
+
+    if spec is None or (isinstance(spec, str) and spec == "none"):
+        if trace:
+            _require_simulator("trace=True")
+        if faults is not None:
+            _require_simulator("faults=")
+        if copy_payloads:
+            _require_simulator("copy_payloads=True")
+        return None
+
+    if isinstance(spec, str):
+        if spec == "simulator":
+            return Simulator(
+                nranks, model, trace=trace, faults=faults, copy_payloads=copy_payloads
+            )
+        if spec in ("threads", "processes"):
+            if trace:
+                _require_simulator("trace=True")
+            if faults is not None:
+                _require_simulator("faults=")
+            if copy_payloads:
+                _require_simulator("copy_payloads=True")
+            if spec == "threads":
+                from .threads import ThreadTransport
+
+                return ThreadTransport(nranks)
+            from .processes import ProcessTransport
+
+            return ProcessTransport(nranks)
+        raise ValueError(
+            f"unknown transport {spec!r}; choose from {TRANSPORT_NAMES} "
+            "or pass a Transport instance"
+        )
+
+    # a ready instance: validate rank count and capability requests
+    if not is_transport(spec):
+        raise TypeError(
+            f"transport= expects one of {TRANSPORT_NAMES} or a Transport "
+            f"instance, got {type(spec).__name__}"
+        )
+    if spec.nranks != nranks:
+        raise ValueError(
+            f"transport has {spec.nranks} ranks but nranks={nranks} was requested"
+        )
+    simulated = bool(getattr(spec, "is_simulated", isinstance(spec, Simulator)))
+    if trace and not simulated:
+        _require_simulator("trace=True")
+    if faults is not None:
+        # a fault plan cannot be retrofitted onto a live instance
+        raise TransportCapabilityError(
+            "faults= cannot be combined with a ready transport instance; "
+            "construct Simulator(nranks, model, faults=plan) and pass that"
+        )
+    if copy_payloads and not simulated:
+        _require_simulator("copy_payloads=True")
+    if trace and simulated and getattr(spec, "tracer", None) is None:
+        raise TransportCapabilityError(
+            "trace=True cannot be retrofitted onto a live instance; "
+            "construct Simulator(nranks, model, trace=True) and pass that"
+        )
+    return spec
+
+
+def resolve_entry_transport(
+    func_name: str,
+    transport: object,
+    simulate: "bool | None",
+    nranks: int,
+    *,
+    model: MachineModel = CRAY_T3D,
+    trace: bool = False,
+    faults: "FaultPlan | None" = None,
+    copy_payloads: bool = False,
+    stacklevel: int = 3,
+):
+    """Entry-point shim shared by every ``transport=`` driver.
+
+    Handles the deprecated ``simulate=`` boolean: ``simulate=True`` maps
+    to ``transport="simulator"`` and ``simulate=False`` to
+    ``transport="none"``, each under a :class:`DeprecationWarning`.
+    Passing both spellings (with a non-default ``transport``) raises
+    ``TypeError``.  Everything else defers to :func:`resolve_transport`.
+    """
+    if simulate is not None:
+        if not (isinstance(transport, str) and transport == "simulator"):
+            raise TypeError(
+                f"{func_name}() got both the deprecated simulate= and "
+                "transport=; pass only transport="
+            )
+        warnings.warn(
+            f"{func_name}(simulate=...) is deprecated; pass "
+            "transport='simulator' (simulate=True) or transport='none' "
+            "(simulate=False) instead",
+            DeprecationWarning,
+            stacklevel=stacklevel,
+        )
+        transport = "simulator" if simulate else "none"
+    return resolve_transport(
+        transport,
+        nranks,
+        model=model,
+        trace=trace,
+        faults=faults,
+        copy_payloads=copy_payloads,
+    )

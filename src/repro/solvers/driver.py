@@ -51,6 +51,7 @@ class ParallelSolveReport:
     failure_report: FailureReport | None = None
     fault_journal: FaultJournal | None = None
     recoveries: int = 0
+    transport: str = "simulator"
 
     @property
     def total_time(self) -> float:
@@ -70,6 +71,7 @@ def parallel_solve(
     tol: float = 1e-8,
     maxiter: int = 20_000,
     model: MachineModel = CRAY_T3D,
+    transport: str = "simulator",
     seed: int = 0,
     retry: RetryPolicy | None = None,
     faults: FaultPlan | None = None,
@@ -81,6 +83,12 @@ def parallel_solve(
     the modelled factorization time and the modelled GMRES run time
     (driven by the measured per-application matvec/trisolve times and
     the real NMV count).
+
+    ``transport`` selects the execution backend for every stage
+    (factorization, matvec probe, preconditioner probe): ``"simulator"``
+    (default), ``"threads"``, ``"processes"`` or ``"none"``.  Real
+    transports return wall-clock rather than modelled times; ``faults=``
+    requires the simulator.
 
     ``retry`` engages a :class:`~repro.resilience.RetryPolicy` around the
     factorization: a :class:`~repro.resilience.NumericalBreakdown` retries
@@ -96,10 +104,12 @@ def parallel_solve(
     def _factor(p: ILUTParams):
         if p.k is None:
             return parallel_ilut(
-                A, p, nranks, decomp=d, model=model, seed=seed, faults=faults
+                A, p, nranks, decomp=d, model=model, seed=seed, faults=faults,
+                transport=transport,
             )
         return parallel_ilut_star(
-            A, p, nranks, decomp=d, model=model, seed=seed, faults=faults
+            A, p, nranks, decomp=d, model=model, seed=seed, faults=faults,
+            transport=transport,
         )
 
     failure_report: FailureReport | None = None
@@ -109,10 +119,12 @@ def parallel_solve(
         fact, failure_report = retry.run(_factor, params)
 
     x_probe = np.ones(A.shape[0])
-    t_mv = parallel_matvec(A, d, x_probe, model=model).modeled_time
+    t_mv = parallel_matvec(
+        A, d, x_probe, model=model, transport=transport
+    ).modeled_time or 0.0
     t_pc = parallel_triangular_solve(
-        fact.factors, x_probe, nranks=nranks, model=model
-    ).modeled_time
+        fact.factors, x_probe, nranks=nranks, model=model, transport=transport
+    ).modeled_time or 0.0
 
     res: GMRESResult = gmres(
         A, b, restart=restart, tol=tol, maxiter=maxiter,
@@ -133,4 +145,5 @@ def parallel_solve(
         failure_report=failure_report or res.failure_report,
         fault_journal=fact.fault_journal,
         recoveries=fact.recoveries,
+        transport=fact.transport,
     )

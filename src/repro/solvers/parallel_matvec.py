@@ -18,7 +18,15 @@ import numpy as np
 
 from ..decomp import DomainDecomposition
 from ..faults import FaultJournal, FaultPlan
-from ..machine import CRAY_T3D, CommStats, MachineModel, Simulator
+from ..machine import (
+    CRAY_T3D,
+    CommStats,
+    MachineModel,
+    Transport,
+    is_transport,
+    resolve_entry_transport,
+    transport_name,
+)
 from ..sparse import CSRMatrix
 
 if TYPE_CHECKING:
@@ -37,6 +45,7 @@ class MatvecResult:
     flops: float
     trace: AccessTracer | None = None
     fault_journal: FaultJournal | None = None
+    transport: str = "none"
 
 
 def parallel_matvec(
@@ -45,7 +54,8 @@ def parallel_matvec(
     x: np.ndarray,
     *,
     model: MachineModel = CRAY_T3D,
-    simulate: bool = True,
+    transport: str | Transport | None = "simulator",
+    simulate: bool | None = None,
     halo_plan: dict[tuple[int, int], np.ndarray] | None = None,
     trace: bool = False,
     backend: str | None = None,
@@ -63,31 +73,57 @@ def parallel_matvec(
     reference loop — ``modeled_time``, ``comm`` and race results are
     identical, ``y`` agrees to roundoff.
 
+    ``transport`` selects the execution backend (``"simulator"`` |
+    ``"threads"`` | ``"processes"`` | ``"none"`` | a ready
+    :class:`~repro.machine.Transport`); the deprecated ``simulate=``
+    boolean maps ``True`` to ``"simulator"`` and ``False`` to
+    ``"none"`` under a :class:`DeprecationWarning`.
+
     ``faults`` arms a :class:`~repro.faults.FaultPlan` on the simulator
-    (requires ``simulate=True``); injected message faults surface as
-    :class:`~repro.faults.MessageLost` / :class:`~repro.faults.RankFailure`
-    and the journal is returned on the result.
+    (requires ``transport="simulator"``); injected message faults
+    surface as :class:`~repro.faults.MessageLost` /
+    :class:`~repro.faults.RankFailure` and the journal is returned on
+    the result.
 
     ``copy_payloads=True`` pickle round-trips every simulated message at
     post time (the serializing-transport debug oracle; requires
-    ``simulate=True``) — results are bit-identical.
+    ``transport="simulator"``) — results are bit-identical.
     """
     x = np.asarray(x, dtype=np.float64)
     n = A.shape[0]
     if x.shape != (n,):
         raise ValueError(f"x has shape {x.shape}, expected ({n},)")
-    if trace and not simulate:
-        raise ValueError("trace=True requires simulate=True")
-    if faults is not None and not simulate:
-        raise ValueError("faults= requires simulate=True")
-    if copy_payloads and not simulate:
-        raise ValueError("copy_payloads=True requires simulate=True")
-    sim = (
-        Simulator(decomp.nranks, model, trace=trace, faults=faults, copy_payloads=copy_payloads)
-        if simulate
-        else None
+    sim = resolve_entry_transport(
+        "parallel_matvec",
+        transport,
+        simulate,
+        decomp.nranks,
+        model=model,
+        trace=trace,
+        faults=faults,
+        copy_payloads=copy_payloads,
     )
-    tr = sim.tracer if sim is not None else None
+    owned = not is_transport(transport)
+    try:
+        res = _matvec_on(A, decomp, x, sim, halo_plan, backend)
+        res.transport = transport_name(sim)
+        return res
+    finally:
+        if owned and sim is not None:
+            sim.close()
+
+
+def _matvec_on(
+    A: CSRMatrix,
+    decomp: DomainDecomposition,
+    x: np.ndarray,
+    sim,
+    halo_plan: dict[tuple[int, int], np.ndarray] | None,
+    backend: str | None,
+) -> MatvecResult:
+    """Run one matvec against a resolved transport (or ``None``)."""
+    n = A.shape[0]
+    tr = getattr(sim, "tracer", None)
     if halo_plan is None:
         halo_plan = decomp.halo_plan()
 
@@ -107,9 +143,12 @@ def parallel_matvec(
     row_nnz = np.diff(A.indptr)
     flops_total = 0.0
     if resolve_backend(backend) == VECTORIZED:
+        # vectorized numerics are computed globally by the coordinator on
+        # every transport (trivially transport-invariant — see DESIGN.md
+        # §13 on the soundness boundary); per-rank charges/declarations
+        # mirror the reference loop, and the costs are integer-valued so
+        # the batched sums match bit for bit
         y = A.matvec(x, backend=VECTORIZED)
-        # per-rank charges/declarations mirror the reference loop; the
-        # costs are integer-valued so the batched sums match bit for bit
         for r in range(decomp.nranks):
             rows = decomp.owned_rows(r)
             if tr is not None:
@@ -123,19 +162,38 @@ def parallel_matvec(
                 sim.compute(r, fl)
             flops_total += fl
     else:
+        # reference backend: one parallel region, one pure thunk per rank
+        # (read-shared x, write-own rows); the coordinator merges partial
+        # results and replays declarations/charges in rank order — the
+        # historical inline order, bit-identical on every transport
         y = np.zeros(n)
-        for r in range(decomp.nranks):
+
+        def local_rows(r: int) -> tuple[np.ndarray, np.ndarray, float]:
             rows = decomp.owned_rows(r)
+            part = np.zeros(rows.size)
             fl = 0.0
-            for i in rows:
+            for j, i in enumerate(rows):
                 cols, vals = A.row(int(i))
                 if cols.size:
-                    if tr is not None:
-                        tr.read_many(r, "x", cols)
-                    y[i] = np.dot(vals, x[cols])
-                if tr is not None:
-                    tr.write(r, "y", int(i))
+                    part[j] = np.dot(vals, x[cols])
                 fl += 2.0 * row_nnz[i]
+            return rows, part, fl
+
+        if sim is not None:
+            results = sim.pardo(
+                [(lambda r=r: local_rows(r)) for r in range(decomp.nranks)]
+            )
+        else:
+            results = [local_rows(r) for r in range(decomp.nranks)]
+        for r in range(decomp.nranks):
+            rows, part, fl = results[r]
+            if tr is not None:
+                for i in rows:
+                    cols, _ = A.row(int(i))
+                    if cols.size:
+                        tr.read_many(r, "x", cols)
+                    tr.write(r, "y", int(i))
+            y[rows] = part
             if sim is not None:
                 sim.compute(r, fl)
             flops_total += fl
@@ -147,5 +205,5 @@ def parallel_matvec(
         comm=sim.stats() if sim is not None else None,
         flops=flops_total,
         trace=tr,
-        fault_journal=sim.fault_journal if sim is not None else None,
+        fault_journal=getattr(sim, "fault_journal", None),
     )

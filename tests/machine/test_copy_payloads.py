@@ -87,7 +87,7 @@ class TestDriverBitIdentity:
         from repro.ilu import ILUTParams, parallel_ilut
 
         A = poisson2d(6)
-        with pytest.raises(ValueError, match="simulate=True"):
+        with pytest.raises(ValueError, match="requires the simulator transport"):
             parallel_ilut(
                 A, ILUTParams(fill=5, threshold=1e-4), 2,
                 simulate=False, copy_payloads=True,

