@@ -33,11 +33,19 @@ import numpy as np
 from repro import ILUTParams, poisson2d
 from repro.ilu import parallel_ilut
 from repro.ilu.triangular import parallel_triangular_solve
+from repro.machine import SupervisionPolicy
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
 TRANSPORTS = ("simulator", "threads", "processes")
 RANKS = (1, 2, 4)
+
+#: supervision must cost < 5% on the no-fault path.  The absolute slack
+#: floor absorbs fork-timing noise on short runs (quick mode factors in
+#: ~1s with run-to-run swings of ~10%); on full-size runs the ratio gate
+#: dominates.
+OVERHEAD_RATIO_MAX = 1.05
+OVERHEAD_ABS_SLACK_S = 0.25
 
 
 def _best_of(fn, repeat: int) -> float:
@@ -114,6 +122,8 @@ def run(nx: int, repeat: int) -> dict:
                 f"solve {t_solve:8.4f}s"
             )
 
+    overhead = supervision_overhead(A, params, max(repeat, 3))
+
     return {
         "benchmark": "transport",
         "matrix": f"poisson2d({nx})",
@@ -123,7 +133,54 @@ def run(nx: int, repeat: int) -> dict:
         "rows": rows,
         "parity_ok": not mismatches,
         "mismatches": mismatches,
+        "supervision_overhead": overhead,
+        "supervision_overhead_ok": all(row["ok"] for row in overhead),
     }
+
+
+def supervision_overhead(A, params, repeat: int) -> list[dict]:
+    """Price of the region supervisor on the no-fault path (DESIGN.md §14).
+
+    Times the factorization with the default supervision policy (polled
+    collection, deadlines, heartbeats armed) against a policy with the
+    deadline disabled (legacy blocking collection) on each real
+    transport.  The supervised path must stay within
+    ``OVERHEAD_RATIO_MAX`` of the unsupervised one — with an absolute
+    slack floor so millisecond-scale runs don't flake the gate.
+    """
+    p = RANKS[-1]
+    unsupervised = SupervisionPolicy(deadline=None)
+    out: list[dict] = []
+    for name in ("threads", "processes"):
+        # interleave the two configurations so load drift hits both alike
+        t_sup = float("inf")
+        t_raw = float("inf")
+        for _ in range(repeat):
+            t0 = time.perf_counter()
+            parallel_ilut(A, params, p, seed=0, transport=name)
+            t_sup = min(t_sup, time.perf_counter() - t0)
+            t0 = time.perf_counter()
+            parallel_ilut(
+                A, params, p, seed=0, transport=name, supervision=unsupervised
+            )
+            t_raw = min(t_raw, time.perf_counter() - t0)
+        ratio = t_sup / t_raw if t_raw > 0 else 1.0
+        ok = ratio <= OVERHEAD_RATIO_MAX or (t_sup - t_raw) <= OVERHEAD_ABS_SLACK_S
+        out.append(
+            {
+                "transport": name,
+                "ranks": p,
+                "supervised_wall_s": t_sup,
+                "unsupervised_wall_s": t_raw,
+                "overhead_ratio": ratio,
+                "ok": ok,
+            }
+        )
+        print(
+            f"p={p} {name:<10} supervised {t_sup:8.4f}s  "
+            f"unsupervised {t_raw:8.4f}s  ratio {ratio:5.3f}"
+        )
+    return out
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -147,14 +204,25 @@ def main(argv: list[str] | None = None) -> int:
 
     Path(args.output).write_text(json.dumps(doc, indent=2) + "\n")
     print(f"wrote {args.output}")
+    failed = False
     if doc["mismatches"]:
         for m in doc["mismatches"]:
             print(f"PARITY FAILURE: {m}", file=sys.stderr)
-        if args.check:
-            return 1
+        failed = True
     elif args.check:
         print("parity check passed: all transports bit-identical to simulator")
-    return 0
+    if not doc["supervision_overhead_ok"]:
+        for row in doc["supervision_overhead"]:
+            if not row["ok"]:
+                print(
+                    f"SUPERVISION OVERHEAD FAILURE: {row['transport']} "
+                    f"ratio {row['overhead_ratio']:.3f} > {OVERHEAD_RATIO_MAX}",
+                    file=sys.stderr,
+                )
+        failed = True
+    elif args.check:
+        print("supervision overhead check passed: no-fault path within 5%")
+    return 1 if args.check and failed else 0
 
 
 if __name__ == "__main__":

@@ -136,7 +136,9 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     return 0 if rep.converged else 1
 
 
-_FAULT_MODES = ("message-drop", "rank-crash", "nan-corrupt")
+_FAULT_MODES = (
+    "message-drop", "rank-crash", "rank-stall", "corrupt-result", "nan-corrupt"
+)
 
 
 def _check_report_stub(args: argparse.Namespace, *, mode: str) -> dict:
@@ -183,8 +185,13 @@ def _cmd_check_fault(args: argparse.Namespace) -> int:
     """Injection modes that must be *survived*, not merely reported.
 
     Returns 0 when the resilience layer recovered (bit-identical factors
-    after a rank crash or message drop; fallback-chain detection and
-    convergence after a NaN corruption) and 1 otherwise.
+    after a rank crash/stall, message drop or corrupted result;
+    fallback-chain detection and convergence after a NaN corruption) and
+    1 otherwise.  ``--transport threads|processes`` runs the portable
+    modes against real workers, where recovery is the supervised region
+    retry of DESIGN.md §14 instead of the simulator's checkpoint
+    restart; the baseline it must match bit-for-bit runs on the same
+    transport.
     """
     from .faults import FaultPlan, MessageFault, RankFault
     from .ilu import ILUTParams, parallel_ilut, parallel_ilut_star
@@ -198,32 +205,69 @@ def _cmd_check_fault(args: argparse.Namespace) -> int:
 
     emit_json = getattr(args, "json", False)
     doc = _check_report_stub(args, mode="fault")
+    transport = getattr(args, "transport", "simulator")
+    doc["transport"] = transport
 
     def say(msg: str) -> None:
         if not emit_json:
             print(msg)
 
+    if args.inject == "message-drop" and transport != "simulator":
+        say("message-drop is not portable: a real transport cannot lose a "
+            "region result in a recoverable way; run it on the simulator "
+            "or pick rank-crash / rank-stall / corrupt-result")
+        doc.update({"ok": False, "error": "unportable fault mode"})
+        return _finish_check(doc, emit_json)
+
     A = load_matrix(args.matrix)
     params = ILUTParams(fill=args.m, threshold=args.t, k=args.k)
     factor = parallel_ilut if args.k is None else parallel_ilut_star
-    baseline = factor(A, params, args.procs, seed=args.seed)
+    baseline = factor(A, params, args.procs, seed=args.seed, transport=transport)
 
-    if args.inject in ("message-drop", "rank-crash"):
+    if args.inject in ("message-drop", "rank-crash", "rank-stall", "corrupt-result"):
+        supervision = None
+        rank = max(1, args.procs // 2)
         if args.inject == "message-drop":
             plan = FaultPlan(message_faults=[MessageFault("drop", tag="urow")])
             say("injected: dropped one interface-row exchange message")
-        else:
-            rank = max(1, args.procs // 2)
+        elif args.inject == "rank-crash":
             plan = FaultPlan(rank_faults=[RankFault("crash", rank=rank, superstep=3)])
             say(f"injected: crashed rank {rank} at superstep 3")
-        res = factor(A, params, args.procs, seed=args.seed, faults=plan)
+        elif args.inject == "rank-stall":
+            if transport == "simulator":
+                stall = 1.0  # virtual seconds on the modelled clock
+            else:
+                # wall-clock: stall well past a short supervision deadline
+                # so the hang is detected (and the worker replaced) fast
+                from .machine import SupervisionPolicy
+
+                stall = 2.0
+                supervision = SupervisionPolicy(deadline=0.5, poll_interval=0.01)
+            plan = FaultPlan(
+                rank_faults=[RankFault("stall", rank=rank, superstep=3, stall=stall)]
+            )
+            say(f"injected: stalled rank {rank} for {stall:g}s at superstep 3")
+        else:  # corrupt-result
+            plan = FaultPlan(message_faults=[MessageFault("corrupt", tag="urow")])
+            say("injected: corrupted one interface-row exchange "
+                "(a worker's result frame on real transports)")
+        res = factor(
+            A, params, args.procs, seed=args.seed, faults=plan,
+            transport=transport, supervision=supervision,
+        )
         journal = res.fault_journal
-        say(journal.summary())
-        say(f"recoveries:    {res.recoveries} checkpoint restart(s)")
+        if journal is not None:
+            say(journal.summary())
+        recovery_kind = (
+            "checkpoint restart(s)" if transport == "simulator"
+            else "supervised region retr(ies)"
+        )
+        say(f"recoveries:    {res.recoveries} {recovery_kind}")
         injected = bool(journal is not None and len(journal.events))
+        recovered = transport == "simulator" or res.recoveries >= 1
         identical = _factors_identical(res.factors, baseline.factors)
         say(f"factors vs uninjected run: {'bit-identical' if identical else 'DIVERGED'}")
-        ok = injected and identical
+        ok = injected and recovered and identical
         doc.update(
             {
                 "injected": injected,
@@ -235,9 +279,12 @@ def _cmd_check_fault(args: argparse.Namespace) -> int:
         )
         if ok:
             say("fault check OK: injection recovered")
+        elif not injected:
+            say("fault check FAILED: no fault fired")
+        elif not recovered:
+            say("fault check FAILED: no region retry was performed")
         else:
-            say("fault check FAILED: "
-                + ("no fault fired" if not injected else "factors diverged"))
+            say("fault check FAILED: factors diverged")
         return _finish_check(doc, emit_json)
 
     # nan-corrupt: the engine exchanges accounting-only payloads, so a
@@ -473,6 +520,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="seed a defect: structural modes verify the checkers report "
         "it (exit 1); fault modes verify the resilience layer recovers "
         "from it (exit 0)",
+    )
+    p_check.add_argument(
+        "--transport",
+        choices=("simulator", "threads", "processes"),
+        default="simulator",
+        help="execution backend for the fault modes: the simulator "
+        "recovers by checkpoint restart, threads/processes by "
+        "supervised region retry (DESIGN.md §14); structural modes "
+        "always replay on the simulator",
     )
     p_check.add_argument(
         "--json",

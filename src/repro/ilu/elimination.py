@@ -227,6 +227,10 @@ class EliminationEngine:
         self.max_levels = max_levels if max_levels is not None else self.n + 1
         self.level_hook = level_hook
         self._tr = sim.tracer if sim is not None else None
+        # per-row liveness signal for the worker supervisor (DESIGN.md
+        # §14): a no-op on the simulator/coordinator, a timestamp or
+        # pipe frame inside real-transport workers
+        self._hb = getattr(sim, "heartbeat", None) or (lambda: None)
 
         # reference norms under every backend: identical drop thresholds
         self.norms = self.A.row_norms(ord=2, backend="reference")
@@ -383,6 +387,7 @@ class EliminationEngine:
         records: list[tuple] = []
         for i_arr in interior:
             i = int(i_arr)
+            self._hb()
             cols, vals = self.A.row(i)
             decls: list[tuple] | None = [("r", "A-row", i)] if trace else None
             w.load(cols, vals)
@@ -477,6 +482,7 @@ class EliminationEngine:
         records: list[tuple] = []
         for i_arr in self.decomp.interface_rows(rank):
             i = int(i_arr)
+            self._hb()
             cols, vals = self.A.row(i)
             decls: list[tuple] | None = [("r", "A-row", i)] if trace else None
             w.load(cols, vals)
@@ -647,6 +653,7 @@ class EliminationEngine:
         trace = self._tr is not None
         records: list[tuple] = []
         for i in rows:
+            self._hb()
             cols, vals = self.reduced[i]
             decls: list[tuple] | None = [("r", "reduced-row", i)] if trace else None
             tau = self._tau(i)
@@ -746,6 +753,7 @@ class EliminationEngine:
         trace = self._tr is not None
         records: list[tuple] = []
         for i in rows:
+            self._hb()
             cols, vals = self.reduced[i]
             pivots = cols[iset_mask[cols]]
             if pivots.size == 0:

@@ -31,6 +31,7 @@ from .ilut import coerce_ilut_params
 from .params import ILUTParams
 
 if TYPE_CHECKING:
+    from ..machine.supervision import SupervisionPolicy
     from ..verify.trace import AccessTracer
 
 __all__ = ["ParallelILUResult", "parallel_ilut", "parallel_ilut_star"]
@@ -62,7 +63,9 @@ class ParallelILUResult:
         The structured log of injected faults and recovery actions when
         run with a ``faults=`` plan (``None`` otherwise).
     recoveries:
-        Checkpoint rollbacks performed during the factorization.
+        Recovery actions performed during the factorization: engine
+        checkpoint rollbacks plus supervised region retries on a real
+        transport (DESIGN.md §14).
     transport:
         Which transport executed the run (``"simulator"``, ``"threads"``,
         ``"processes"`` or ``"none"``).
@@ -109,6 +112,7 @@ def parallel_ilut(
     checkpoint: bool | None = None,
     backend: str | None = None,
     copy_payloads: bool = False,
+    supervision: "SupervisionPolicy | None" = None,
 ) -> ParallelILUResult:
     """Factor ``A`` with parallel ILUT(m, t) on ``nranks`` simulated PEs.
 
@@ -159,9 +163,18 @@ def parallel_ilut(
         (:class:`~repro.resilience.PivotPolicy`); overrides
         ``diag_guard`` when given.
     faults:
-        A seeded :class:`~repro.faults.FaultPlan` to inject message and
-        rank faults into the simulated run (requires ``simulate=True``);
-        the journal lands in ``ParallelILUResult.fault_journal``.
+        A seeded :class:`~repro.faults.FaultPlan` to inject faults into
+        the run; the journal lands in
+        ``ParallelILUResult.fault_journal``.  The simulator honours
+        every fault kind; the real transports honour the portable
+        subset — crash / stall rank faults and corrupt message faults
+        (as corrupt-result) — and recover by supervised region retry
+        (DESIGN.md §14).  Unportable kinds raise
+        :class:`~repro.machine.TransportCapabilityError` off-simulator.
+    supervision:
+        A :class:`~repro.machine.SupervisionPolicy` tuning the worker
+        supervisor (deadline, poll interval, region retry budget) —
+        real transports only.
     checkpoint:
         Snapshot per-level state so an injected rank crash resumes from
         the last completed level.  ``None`` (default) enables
@@ -209,6 +222,7 @@ def parallel_ilut(
         trace=trace,
         faults=faults,
         copy_payloads=copy_payloads,
+        supervision=supervision,
     )
     owned = not is_transport(transport)  # we constructed it, we close it
     try:
@@ -237,7 +251,7 @@ def parallel_ilut(
             words_copied=outcome.words_copied,
             trace=getattr(sim, "tracer", None),
             fault_journal=getattr(sim, "fault_journal", None),
-            recoveries=outcome.recoveries,
+            recoveries=outcome.recoveries + getattr(sim, "region_recoveries", 0),
             transport=transport_name(sim),
         )
     finally:

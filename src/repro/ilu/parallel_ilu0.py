@@ -11,9 +11,12 @@ compared level-for-level (see ``benchmarks/bench_ablation_ilu0.py``).
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 
 from ..decomp import DomainDecomposition, decompose
+from ..faults import FaultPlan
 from ..graph import Graph, color_classes, greedy_coloring
 from ..machine import (
     CRAY_T3D,
@@ -27,6 +30,9 @@ from ..resilience import ZeroPivotError
 from ..sparse import COOBuilder, CSRMatrix, SparseRowAccumulator
 from .factors import ILUFactors, LevelStructure
 from .parallel import ParallelILUResult
+
+if TYPE_CHECKING:
+    from ..machine.supervision import SupervisionPolicy
 
 __all__ = ["parallel_ilu0"]
 
@@ -63,6 +69,8 @@ def parallel_ilu0(
     method: str = "multilevel",
     seed: int = 0,
     diag_guard: bool = True,
+    faults: FaultPlan | None = None,
+    supervision: "SupervisionPolicy | None" = None,
 ) -> ParallelILUResult:
     """Zero-fill incomplete factorization on the simulated machine.
 
@@ -70,7 +78,10 @@ def parallel_ilu0(
     (interior blocks, then interface levels), but the interface levels
     are the colour classes of the interface graph, computed *before* the
     numeric factorization — the concurrency structure ILU(0) admits and
-    ILUT does not.
+    ILUT does not.  ``faults`` / ``supervision`` behave as in
+    :func:`~repro.ilu.parallel.parallel_ilut`: real transports honour
+    the portable fault subset and recover by supervised region retry
+    (DESIGN.md §14).
     """
     if decomp is None:
         decomp = decompose(A, nranks, method=method, seed=seed)
@@ -79,7 +90,13 @@ def parallel_ilu0(
             f"decomp has {decomp.nranks} ranks but nranks={nranks} was requested"
         )
     sim = resolve_entry_transport(
-        "parallel_ilu0", transport, simulate, nranks, model=model
+        "parallel_ilu0",
+        transport,
+        simulate,
+        nranks,
+        model=model,
+        faults=faults,
+        supervision=supervision,
     )
     owned = not is_transport(transport)
     n = A.shape[0]
@@ -285,6 +302,8 @@ def parallel_ilu0(
             comm=sim.stats() if sim is not None else None,
             flops=0.0 if sim is None else sim.stats().total_flops,
             words_copied=0.0,
+            fault_journal=getattr(sim, "fault_journal", None),
+            recoveries=getattr(sim, "region_recoveries", 0),
             transport=transport_name(sim),
         )
     finally:

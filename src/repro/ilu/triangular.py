@@ -40,6 +40,7 @@ from ..machine import (
 from .factors import ILUFactors
 
 if TYPE_CHECKING:
+    from ..machine.supervision import SupervisionPolicy
     from ..verify.trace import AccessTracer
 
 __all__ = ["TriangularSolveResult", "parallel_triangular_solve"]
@@ -55,6 +56,7 @@ class TriangularSolveResult:
     flops: float
     trace: AccessTracer | None = None
     fault_journal: FaultJournal | None = None
+    recoveries: int = 0
     transport: str = "none"
 
 
@@ -219,6 +221,7 @@ def parallel_triangular_solve(
     backend: str | None = None,
     faults: FaultPlan | None = None,
     copy_payloads: bool = False,
+    supervision: "SupervisionPolicy | None" = None,
 ) -> TriangularSolveResult:
     """Apply the preconditioner ``M^{-1} b`` with the two-phase schedule.
 
@@ -240,11 +243,14 @@ def parallel_triangular_solve(
     boolean maps ``True`` to ``"simulator"`` and ``False`` to
     ``"none"`` under a :class:`DeprecationWarning`.
 
-    ``faults`` arms a :class:`~repro.faults.FaultPlan` on the simulator
-    (requires ``transport="simulator"``); message-level faults surface
-    as :class:`~repro.faults.MessageLost` /
-    :class:`~repro.faults.RankFailure` and the journal is returned on
-    the result.
+    ``faults`` arms a :class:`~repro.faults.FaultPlan`: on the simulator
+    message-level faults surface as :class:`~repro.faults.MessageLost` /
+    :class:`~repro.faults.RankFailure`; on the real transports the
+    portable subset (crash / stall / corrupt-result) is injected at the
+    worker level and recovered by supervised region retry — tune the
+    supervisor with ``supervision=`` (a
+    :class:`~repro.machine.SupervisionPolicy`; real transports only).
+    The journal and the retry count are returned on the result.
 
     ``copy_payloads=True`` pickle round-trips every simulated message at
     post time (the serializing-transport debug oracle; requires
@@ -272,11 +278,13 @@ def parallel_triangular_solve(
         trace=trace,
         faults=faults,
         copy_payloads=copy_payloads,
+        supervision=supervision,
     )
     owned = not is_transport(transport)
     try:
         res = _solve_on(factors, b, sim, nranks, backend)
         res.transport = transport_name(sim)
+        res.recoveries = getattr(sim, "region_recoveries", 0)
         return res
     finally:
         if owned and sim is not None:

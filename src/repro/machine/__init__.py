@@ -14,14 +14,23 @@ keyword onto an instance.
 from .model import CRAY_T3D, IDEAL, WORKSTATION_CLUSTER, MachineModel
 from .processes import ProcessTransport
 from .simulator import CommStats, Simulator, SimulatorSnapshot
+from .supervision import (
+    PortableFaultRuntime,
+    SupervisionPolicy,
+    unportable_faults,
+)
 from .threads import ThreadTransport
 from .transport import (
+    SUPERVISED_FAILURES,
     TRANSPORT_NAMES,
     LocalTransport,
+    ResultUnpicklable,
     Transport,
     TransportCapabilityError,
     TransportError,
     TransportWorkerError,
+    WorkerCrashed,
+    WorkerHung,
     is_transport,
     resolve_entry_transport,
     resolve_transport,
@@ -43,6 +52,13 @@ __all__ = [
     "TransportError",
     "TransportCapabilityError",
     "TransportWorkerError",
+    "WorkerCrashed",
+    "WorkerHung",
+    "ResultUnpicklable",
+    "SUPERVISED_FAILURES",
+    "SupervisionPolicy",
+    "PortableFaultRuntime",
+    "unportable_faults",
     "is_transport",
     "resolve_transport",
     "resolve_entry_transport",

@@ -7,7 +7,23 @@ engine state that would not survive pickling — run unmodified.  Only
 the *results* cross the process boundary, pickled over a one-way pipe;
 PR 7's TRN002 certification guarantees every certified driver's
 payloads and returns are pickle-safe.  Large numpy operands skip the
-pipe and travel through POSIX shared memory (:mod:`multiprocessing.shared_memory`).
+pipe and travel through POSIX shared memory
+(:mod:`multiprocessing.shared_memory`) under deterministic
+``repro-shm-<pid>-<k>`` names, so the parent can sweep a dead child's
+segments even when no result frame ever arrived.
+
+Collection runs under the region supervisor (DESIGN.md §14): the
+parent polls all pipes with :func:`multiprocessing.connection.wait`
+instead of blocking in rank order, so one hung rank cannot delay
+detection of another rank's death.  A child that dies surfaces
+:class:`~repro.machine.transport.WorkerCrashed` carrying its exitcode
+(or the killing signal) and any remote traceback; a child that delivers
+neither its result frame nor a heartbeat frame within the supervision
+deadline is terminated and surfaces
+:class:`~repro.machine.transport.WorkerHung`; a result that cannot
+cross the pickle boundary — either direction — surfaces
+:class:`~repro.machine.transport.ResultUnpicklable`.  All children are
+reaped (terminate + join with a deadline) before any error is raised.
 
 Because children are forked fresh per region and never see each other,
 worker-context messaging is impossible here: a thunk calling ``send`` /
@@ -24,21 +40,45 @@ deltas into its counters in rank order.
 from __future__ import annotations
 
 import io
+import itertools
 import multiprocessing
+import multiprocessing.connection
 import os
 import pickle
+import signal
 import sys
+import time
 import traceback
-from typing import Any, Callable, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Sequence
 
 import numpy as np
 
-from .transport import LocalTransport, TransportError, TransportWorkerError
+from .supervision import RegionInjection
+from .transport import (
+    LocalTransport,
+    ResultUnpicklable,
+    TransportError,
+    TransportWorkerError,
+    WorkerCrashed,
+    WorkerHung,
+)
+
+if TYPE_CHECKING:
+    from ..faults import FaultPlan
+    from .supervision import SupervisionPolicy
 
 __all__ = ["ProcessTransport"]
 
 #: arrays at or above this byte size return via shared memory, not the pipe
 SHM_THRESHOLD_BYTES = 64 * 1024
+
+#: frame tags on the child->parent pipe (one send_bytes per frame)
+_HB_FRAME = b"\x01"
+_RESULT_TAG = b"\x00"
+
+
+def _shm_prefix(pid: int) -> str:
+    return f"repro-shm-{pid}"
 
 
 class _ShmRef:
@@ -55,9 +95,28 @@ class _ShmRef:
 class _ShmPickler(pickle.Pickler):
     """Detours large contiguous float/int arrays through shared memory."""
 
-    def __init__(self, file: io.BytesIO, shm_names: list[str]) -> None:
+    def __init__(
+        self, file: io.BytesIO, shm_names: list[str], prefix: str | None = None
+    ) -> None:
         super().__init__(file, protocol=pickle.HIGHEST_PROTOCOL)
         self._shm_names = shm_names
+        self._prefix = prefix
+
+    def _create_segment(self, nbytes: int) -> Any:
+        from multiprocessing import shared_memory
+
+        if self._prefix is None:
+            return shared_memory.SharedMemory(create=True, size=nbytes)
+        # deterministic per-child names let the parent sweep segments of
+        # a dead child even when no result frame made it out
+        name = f"{self._prefix}-{len(self._shm_names)}"
+        try:
+            return shared_memory.SharedMemory(name=name, create=True, size=nbytes)
+        except FileExistsError:  # pragma: no cover - stale segment from a reused pid
+            stale = shared_memory.SharedMemory(name=name)
+            stale.close()
+            stale.unlink()
+            return shared_memory.SharedMemory(name=name, create=True, size=nbytes)
 
     def persistent_id(self, obj: Any) -> Any:
         if (
@@ -66,9 +125,7 @@ class _ShmPickler(pickle.Pickler):
             and obj.dtype.hasobject is False
             and obj.nbytes >= SHM_THRESHOLD_BYTES
         ):
-            from multiprocessing import shared_memory
-
-            shm = shared_memory.SharedMemory(create=True, size=obj.nbytes)
+            shm = self._create_segment(obj.nbytes)
             view = np.ndarray(obj.shape, dtype=obj.dtype, buffer=shm.buf)
             view[...] = obj
             name = shm.name
@@ -108,24 +165,52 @@ class _ShmUnpickler(pickle.Unpickler):
         raise pickle.UnpicklingError(f"unknown persistent id {pid!r}")
 
 
-def _shm_dumps(obj: Any) -> bytes:
+def _unlink_segment(name: str) -> bool:
+    """Unlink one segment by name; False when it does not exist."""
+    from multiprocessing import shared_memory
+
+    try:
+        seg = shared_memory.SharedMemory(name=name)
+    except FileNotFoundError:
+        return False
+    seg.close()
+    try:
+        seg.unlink()
+    except FileNotFoundError:  # pragma: no cover - racing unlink
+        pass
+    return True
+
+
+def _sweep_named_segments(names: Sequence[str]) -> None:
+    """Unlink the segments a result frame advertised (unpickle failed)."""
+    for name in names:
+        _unlink_segment(name)
+
+
+def _sweep_child_segments(pid: int | None) -> None:
+    """Unlink every deterministic segment a (dead) child pid created.
+
+    Segment counters are dense (``repro-shm-<pid>-0``, ``-1``, ...), so
+    the sweep walks until the first missing name.
+    """
+    if pid is None:
+        return
+    prefix = _shm_prefix(pid)
+    for k in itertools.count():
+        if not _unlink_segment(f"{prefix}-{k}"):
+            break
+
+
+def _shm_dumps(obj: Any, *, prefix: str | None = None) -> tuple[bytes, list[str]]:
     buf = io.BytesIO()
     names: list[str] = []
     try:
-        _ShmPickler(buf, names).dump(obj)
+        _ShmPickler(buf, names, prefix).dump(obj)
     except Exception:
         # roll back any segments already created for this object
-        from multiprocessing import shared_memory
-
-        for name in names:
-            try:
-                seg = shared_memory.SharedMemory(name=name)
-                seg.close()
-                seg.unlink()
-            except FileNotFoundError:
-                pass
+        _sweep_named_segments(names)
         raise
-    return buf.getvalue()
+    return buf.getvalue(), names
 
 
 def _shm_loads(data: bytes) -> Any:
@@ -137,8 +222,14 @@ class ProcessTransport(LocalTransport):
 
     name = "processes"
 
-    def __init__(self, nranks: int) -> None:
-        super().__init__(nranks)
+    def __init__(
+        self,
+        nranks: int,
+        *,
+        supervision: "SupervisionPolicy | None" = None,
+        faults: "FaultPlan | None" = None,
+    ) -> None:
+        super().__init__(nranks, supervision=supervision, faults=faults)
         if "fork" not in multiprocessing.get_all_start_methods():
             raise TransportError(
                 "ProcessTransport requires the fork start method "
@@ -146,6 +237,9 @@ class ProcessTransport(LocalTransport):
             )
         self._ctx = multiprocessing.get_context("fork")
         self._in_child = False
+        self._child_conn: Any = None
+        self._last_beat = 0.0
+        self._live: dict[int, int] = {}
 
     # -- worker-context comm is a contract violation --------------------
 
@@ -172,21 +266,74 @@ class ProcessTransport(LocalTransport):
         self._forbid_in_child("barrier")
         super().barrier()
 
+    # -- supervision hooks ---------------------------------------------
+
+    def heartbeat(self) -> None:
+        if not self._in_child or self._child_conn is None:
+            return
+        now = time.perf_counter()
+        if now - self._last_beat < self.supervision.heartbeat_interval:
+            return
+        self._last_beat = now
+        try:
+            self._child_conn.send_bytes(_HB_FRAME)
+        except OSError:  # pragma: no cover - parent gone: nothing to signal
+            pass
+
+    def active_workers(self) -> dict[int, int]:
+        """Live child pids by rank of the region in flight (chaos hook)."""
+        return dict(self._live)
+
+    def _terminate_child(self, proc: Any) -> None:
+        """Forcefully reap one child: terminate, then kill after a grace."""
+        if proc.is_alive():
+            proc.terminate()
+            proc.join(self.supervision.kill_grace)
+            if proc.is_alive():  # pragma: no cover - SIGTERM ignored
+                proc.kill()
+                proc.join(self.supervision.kill_grace)
+
+    def _reap_child(self, proc: Any) -> None:
+        """End-of-region reap: give a clean exit a grace, then escalate."""
+        proc.join(self.supervision.kill_grace)
+        self._terminate_child(proc)
+
+    def _classify_exit(self, rank: int, exitcode: int | None) -> WorkerCrashed:
+        if exitcode is not None and exitcode < 0:
+            signum = -exitcode
+            try:
+                signame = signal.Signals(signum).name
+            except ValueError:  # pragma: no cover - unnamed signal number
+                signame = f"signal {signum}"
+            return WorkerCrashed(
+                rank,
+                f"child killed by {signame} without a result (exitcode={exitcode})",
+                exitcode=exitcode,
+                signum=signum,
+            )
+        return WorkerCrashed(
+            rank,
+            f"child exited without a result (exitcode={exitcode})",
+            exitcode=exitcode,
+        )
+
     # -- parallel region ----------------------------------------------
 
-    def pardo(self, thunks: Sequence[Callable[[], Any] | None]) -> list[Any]:
-        """Fork one child per active rank; results merge in rank order.
+    def _run_region(
+        self,
+        thunks: Sequence[Callable[[], Any] | None],
+        active: list[int],
+        inject: dict[int, RegionInjection],
+    ) -> list[Any]:
+        """One supervised execution attempt (see ``LocalTransport.pardo``).
 
-        Each child runs its thunk against the inherited copy-on-write
-        state and writes ``(ok, result_or_traceback, flops_delta)`` back
-        length-prefixed over a pipe.  The parent reads pipes in rank
-        order, folds the flops deltas into its counters, and re-raises
-        the lowest failing rank's exception.
+        Forks one child per active rank, then polls all pipes with
+        ``multiprocessing.connection.wait``; heartbeat frames push a
+        rank's deadline out, a result frame resolves it, a dead pipe
+        classifies the child's exit.  Every child is reaped before a
+        failure propagates.
         """
-        self._check_thunks(thunks)
-        active = [r for r, f in enumerate(thunks) if f is not None]
-        if not active:
-            return [None] * self.nranks
+        policy = self.supervision
 
         # fork duplicates buffered stdio; flush so children don't replay it
         sys.stdout.flush()
@@ -198,56 +345,132 @@ class ProcessTransport(LocalTransport):
             rd, wr = self._ctx.Pipe(duplex=False)
             proc = self._ctx.Process(
                 target=self._child_main,
-                args=(r, thunks[r], wr),
+                args=(r, thunks[r], wr, inject.get(r)),
                 name=f"repro-rank-{r}",
             )
             proc.start()
             wr.close()  # parent keeps only the read end
             pipes[r] = rd
             procs[r] = proc
+            if proc.pid is not None:
+                self._live[r] = proc.pid
 
         results: list[Any] = [None] * self.nranks
         failures: dict[int, BaseException] = {}
-        for r in active:
-            rd = pipes[r]
-            try:
-                blob = rd.recv_bytes()
-            except EOFError:
-                procs[r].join()
-                failures[r] = TransportWorkerError(
-                    r, f"child exited without a result (exitcode={procs[r].exitcode})"
-                )
-                continue
-            finally:
-                rd.close()
-            ok, payload, flops_delta = _shm_loads(blob)
-            self._flops[r] += flops_delta
-            if ok:
-                results[r] = payload
-            else:
-                exc_type_name, message, tb_text = payload
-                failures[r] = TransportWorkerError(
-                    r, f"{exc_type_name}: {message}\n{tb_text}"
-                )
-        for r in active:
-            procs[r].join()
+        now = time.perf_counter()
+        deadlines: dict[int, float] = {}
+        if policy.deadline is not None:
+            deadlines = {r: now + policy.deadline for r in active}
+        pending = set(active)
+        try:
+            while pending:
+                by_conn = {pipes[r]: r for r in sorted(pending)}
+                timeout = policy.poll_interval if policy.deadline is not None else None
+                ready = multiprocessing.connection.wait(list(by_conn), timeout=timeout)
+                for conn in ready:
+                    r = by_conn[conn]
+                    try:
+                        frame = bytes(conn.recv_bytes())
+                    except (EOFError, OSError):
+                        # dead pipe: the child died before (or mid-) result
+                        pending.discard(r)
+                        self._reap_child(procs[r])
+                        failures[r] = self._classify_exit(r, procs[r].exitcode)
+                        _sweep_child_segments(procs[r].pid)
+                        continue
+                    if frame[:1] == _HB_FRAME:
+                        if policy.deadline is not None:
+                            deadlines[r] = time.perf_counter() + policy.deadline
+                        continue
+                    pending.discard(r)
+                    kind, names, body = pickle.loads(frame[1:])
+                    if kind == "error":
+                        exc_type_name, message, tb_text, flops_delta = body
+                        self._flops[r] += flops_delta
+                        failures[r] = TransportWorkerError(
+                            r, f"{exc_type_name}: {message}\n{tb_text}"
+                        )
+                    elif kind == "unpicklable":
+                        tb_text, flops_delta = body
+                        self._flops[r] += flops_delta
+                        failures[r] = ResultUnpicklable(
+                            r,
+                            "region result could not be pickled in the worker",
+                            remote_traceback=tb_text,
+                        )
+                    else:  # "result"
+                        try:
+                            payload, flops_delta = _shm_loads(body)
+                        except Exception as exc:
+                            _sweep_named_segments(names)
+                            failures[r] = ResultUnpicklable(
+                                r, f"region result could not be unpickled: {exc!r}"
+                            )
+                        else:
+                            self._flops[r] += flops_delta
+                            results[r] = payload
+                if policy.deadline is None:
+                    continue
+                now = time.perf_counter()
+                for r in sorted(pending):
+                    if now > deadlines[r]:
+                        pending.discard(r)
+                        failures[r] = WorkerHung(r, policy.deadline)
+                        self._terminate_child(procs[r])
+                        _sweep_child_segments(procs[r].pid)
+        finally:
+            for r in active:
+                self._reap_child(procs[r])
+                pipes[r].close()
+            self._live.clear()
         if failures:
-            raise failures[min(failures)]
+            self._raise_region_failure(failures)
         return results
 
-    def _child_main(self, rank: int, thunk: Callable[[], Any], wr: Any) -> None:
+    def _child_main(
+        self,
+        rank: int,
+        thunk: Callable[[], Any] | None,
+        wr: Any,
+        injection: RegionInjection | None = None,
+    ) -> None:
         self._in_child = True
+        self._child_conn = wr
+        self._last_beat = time.perf_counter()
+        if injection is not None and injection.kind == "crash":
+            # injected worker crash: die before any work, like a segfault
+            # between fork and result would
+            os._exit(1)
+        assert thunk is not None  # pardo only forks active ranks
         flops_before = float(self._flops[rank])
         try:
+            if injection is not None and injection.kind == "stall":
+                time.sleep(injection.stall)
             result = thunk()
             flops_delta = float(self._flops[rank]) - flops_before
-            blob = _shm_dumps((True, result, flops_delta))
+            if injection is not None and injection.kind == "corrupt":
+                # injected corrupt-result: an undecodable blob, no segments
+                frame = _RESULT_TAG + pickle.dumps(
+                    ("result", [], b"\x80repro-corrupt-result")
+                )
+            else:
+                try:
+                    body, names = _shm_dumps(
+                        (result, flops_delta),
+                        prefix=_shm_prefix(os.getpid()),
+                    )
+                except Exception:
+                    frame = _RESULT_TAG + pickle.dumps(
+                        ("unpicklable", [], (traceback.format_exc(), flops_delta))
+                    )
+                else:
+                    frame = _RESULT_TAG + pickle.dumps(("result", names, body))
         except BaseException as exc:  # noqa: BLE001 - serialised to parent
             flops_delta = float(self._flops[rank]) - flops_before
-            info = (type(exc).__name__, str(exc), traceback.format_exc())
-            blob = _shm_dumps((False, info, flops_delta))
+            info = (type(exc).__name__, str(exc), traceback.format_exc(), flops_delta)
+            frame = _RESULT_TAG + pickle.dumps(("error", [], info))
         try:
-            wr.send_bytes(blob)
+            wr.send_bytes(frame)
             wr.close()
         finally:
             # hard-exit: skip atexit/GC that could touch inherited state

@@ -258,6 +258,15 @@ class Simulator:
             )
         return [f() if f is not None else None for f in thunks]
 
+    def heartbeat(self) -> None:
+        """Transport-contract conformance: no supervisor to signal.
+
+        Long-running thunks call ``transport.heartbeat()`` so the real
+        transports' region supervisor (DESIGN.md §14) knows they are
+        alive; on the simulator the region runs inline and the call is
+        free — drivers need no backend switch.
+        """
+
     def close(self) -> None:
         """Transport-contract conformance: the simulator holds no workers."""
 

@@ -47,7 +47,14 @@ A transport provides:
 ``transport=`` keyword of every ``parallel_*`` driver goes through; it
 raises the typed :class:`TransportCapabilityError` when ``faults=`` or
 ``trace=True`` is combined with a backend that cannot honour it — the
-simulator is the only fault/race-instrumented transport.
+simulator is the only fully fault/race-instrumented transport.  Real
+transports accept the *portable* fault subset (crash / stall / corrupt-
+result; see :mod:`repro.machine.supervision`) and run every ``pardo``
+region under a supervisor (DESIGN.md §14): per-rank deadlines with
+heartbeats, the typed failure taxonomy (:class:`WorkerCrashed` /
+:class:`WorkerHung` / :class:`ResultUnpicklable`), and bounded region
+retry from the coordinator's intact state — bit-identical by the
+pure-thunk discipline.
 """
 
 from __future__ import annotations
@@ -66,6 +73,7 @@ from .simulator import CommStats
 if TYPE_CHECKING:
     from ..faults import FaultJournal, FaultPlan
     from ..verify.trace import AccessTracer
+    from .supervision import PortableFaultRuntime, RegionInjection, SupervisionPolicy
 
 __all__ = [
     "Transport",
@@ -73,6 +81,10 @@ __all__ = [
     "TransportError",
     "TransportCapabilityError",
     "TransportWorkerError",
+    "WorkerCrashed",
+    "WorkerHung",
+    "ResultUnpicklable",
+    "SUPERVISED_FAILURES",
     "TransportSnapshot",
     "is_transport",
     "resolve_transport",
@@ -106,12 +118,68 @@ class TransportCapabilityError(TransportError, ValueError):
 class TransportWorkerError(TransportError):
     """A worker rank died with an exception that could not be re-raised.
 
-    Carries the rank and the worker-side traceback text.
+    Carries the rank and the worker-side traceback text.  The
+    supervision layer (DESIGN.md §14) refines it into the typed
+    taxonomy below; only those subclasses trigger region retry — a bare
+    :class:`TransportWorkerError` is an *application* failure crossing
+    a serialisation boundary and surfaces immediately.
     """
 
     def __init__(self, rank: int, message: str) -> None:
         super().__init__(f"rank {rank} failed: {message}")
         self.rank = rank
+
+
+class WorkerCrashed(TransportWorkerError):
+    """A worker died mid-region without delivering its result.
+
+    For process workers carries the child ``exitcode`` (negative means
+    killed by ``-exitcode``) and, when the death was a classified
+    signal, ``signum``; ``remote_traceback`` holds the worker-side
+    traceback when one made it out before the death.
+    """
+
+    def __init__(
+        self,
+        rank: int,
+        message: str,
+        *,
+        exitcode: int | None = None,
+        signum: int | None = None,
+        remote_traceback: str = "",
+    ) -> None:
+        super().__init__(rank, message)
+        self.exitcode = exitcode
+        self.signum = signum
+        self.remote_traceback = remote_traceback
+
+
+class WorkerHung(TransportWorkerError):
+    """A worker delivered neither result nor heartbeat within the deadline."""
+
+    def __init__(self, rank: int, deadline: float) -> None:
+        super().__init__(
+            rank,
+            f"no result or heartbeat within the {deadline:g}s supervision deadline",
+        )
+        self.deadline = deadline
+
+
+class ResultUnpicklable(TransportWorkerError):
+    """A worker finished but its result could not cross the boundary.
+
+    ``remote_traceback`` carries the worker-side pickling traceback when
+    the failure was detected in the worker; parent-side unpickling
+    failures report the coordinator's exception instead.
+    """
+
+    def __init__(self, rank: int, message: str, *, remote_traceback: str = "") -> None:
+        super().__init__(rank, message)
+        self.remote_traceback = remote_traceback
+
+
+#: The failure taxonomy the region supervisor retries on.
+SUPERVISED_FAILURES = (WorkerCrashed, WorkerHung, ResultUnpicklable)
 
 
 class TransportSnapshot:
@@ -176,7 +244,13 @@ class LocalTransport(Transport):
     #: seconds a worker-context ``recv`` waits before declaring deadlock
     recv_timeout: float = 30.0
 
-    def __init__(self, nranks: int) -> None:
+    def __init__(
+        self,
+        nranks: int,
+        *,
+        supervision: "SupervisionPolicy | None" = None,
+        faults: "FaultPlan | None" = None,
+    ) -> None:
         if nranks < 1:
             raise ValueError(f"nranks must be >= 1, got {nranks}")
         self.nranks = int(nranks)
@@ -189,15 +263,30 @@ class LocalTransport(Transport):
         self._barriers = 0
         self._collectives = 0
         self._t0 = time.perf_counter()
-        # ranks never carry a tracer or fault runtime on a real transport
+        self._closed = False
+        # ranks never carry a tracer or a simulator fault runtime on a
+        # real transport; portable faults live in the supervision layer
         self.tracer: AccessTracer | None = None
         self.faults = None
+        from .supervision import PortableFaultRuntime, SupervisionPolicy
+
+        self.supervision = supervision if supervision is not None else SupervisionPolicy()
+        self._fault_runtime: PortableFaultRuntime | None = (
+            PortableFaultRuntime(faults) if faults is not None else None
+        )
+        self._region_recoveries = 0
 
     # -- identity ------------------------------------------------------
 
     @property
     def fault_journal(self) -> FaultJournal | None:
-        return None
+        """The portable-fault journal, when a plan is armed."""
+        return self._fault_runtime.journal if self._fault_runtime is not None else None
+
+    @property
+    def region_recoveries(self) -> int:
+        """Parallel regions re-executed after a supervised worker failure."""
+        return self._region_recoveries
 
     @property
     def superstep(self) -> int:
@@ -212,7 +301,86 @@ class LocalTransport(Transport):
     # -- parallel region ----------------------------------------------
 
     def pardo(self, thunks: Sequence[Callable[[], Any] | None]) -> list[Any]:
+        """Run one thunk per rank under the region supervisor.
+
+        Dispatches any armed portable faults, snapshots the transport
+        counters, and delegates to the backend's :meth:`_run_region`.
+        A supervised failure (:data:`SUPERVISED_FAILURES`: worker
+        crashed / hung / result unpicklable) rolls the counters back
+        and re-executes the whole region from the coordinator's intact
+        state, up to ``supervision.region_retries`` times — safe and
+        bit-reproducible because thunks are pure (read-shared /
+        write-own, DESIGN.md §13/§14).  Application exceptions raised
+        by a thunk are never retried.
+        """
+        self._check_thunks(thunks)
+        self._ensure_open()
+        active = [r for r, f in enumerate(thunks) if f is not None]
+        if not active:
+            return [None] * self.nranks
+        attempts = self.supervision.region_retries + 1
+        for attempt in range(attempts):
+            inject: dict[int, RegionInjection] = (
+                self._fault_runtime.plan_region(active, self.superstep)
+                if self._fault_runtime is not None
+                else {}
+            )
+            snap = self.snapshot()
+            try:
+                return self._run_region(thunks, active, inject)
+            except SUPERVISED_FAILURES as err:
+                self.restore(snap, reason=f"region retry after {type(err).__name__}")
+                if attempt + 1 >= attempts:
+                    raise
+                self._region_recoveries += 1
+                if self._fault_runtime is not None:
+                    self._fault_runtime.journal.record(
+                        "region-retry",
+                        superstep=self.superstep,
+                        rank=err.rank,
+                        detail=f"attempt {attempt + 1}: {type(err).__name__}",
+                    )
+        raise TransportError("unreachable")  # pragma: no cover
+
+    def _run_region(
+        self,
+        thunks: Sequence[Callable[[], Any] | None],
+        active: list[int],
+        inject: "dict[int, RegionInjection]",
+    ) -> list[Any]:
+        """One supervised execution attempt of a region (backend hook)."""
         raise NotImplementedError
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise TransportError("transport is closed")
+
+    def _raise_region_failure(self, failures: dict[int, BaseException]) -> None:
+        """Raise the failure that decides the region's fate.
+
+        Supervised failures (the retryable taxonomy) take precedence
+        over application errors and collateral transport errors (a
+        broken barrier on a sibling rank of a crashed worker must not
+        mask the crash); within a class, lowest rank first — the same
+        deterministic order the pre-supervision transports used.
+        """
+        supervised = {
+            r: e for r, e in failures.items() if isinstance(e, SUPERVISED_FAILURES)
+        }
+        pick = supervised if supervised else failures
+        rank = min(pick)
+        exc = pick[rank]
+        if isinstance(exc, Exception):
+            raise exc
+        raise TransportWorkerError(rank, repr(exc))
+
+    def heartbeat(self) -> None:
+        """Progress signal from a long-running thunk (worker context).
+
+        Resets the calling rank's supervision deadline; a no-op in
+        coordinator context and on the simulator, so drivers may call
+        it unconditionally.
+        """
 
     def _check_thunks(self, thunks: Sequence[Callable[[], Any] | None]) -> None:
         if len(thunks) != self.nranks:
@@ -397,6 +565,7 @@ class LocalTransport(Transport):
 
     def close(self) -> None:
         """Release worker resources; the transport is unusable after."""
+        self._closed = True
 
     def __enter__(self) -> "LocalTransport":
         return self
@@ -421,6 +590,7 @@ def resolve_transport(
     trace: bool = False,
     faults: "FaultPlan | None" = None,
     copy_payloads: bool = False,
+    supervision: "SupervisionPolicy | None" = None,
 ):
     """Resolve a ``transport=`` argument into a transport instance.
 
@@ -435,11 +605,16 @@ def resolve_transport(
         Rank count a string spec is instantiated with; an instance must
         already match it.
     model, trace, faults, copy_payloads:
-        Simulator configuration.  Requesting any of ``trace``/``faults``/
-        ``copy_payloads`` from a transport that cannot honour it raises
-        the typed :class:`TransportCapabilityError` instead of silently
-        ignoring the request — the simulator is the only fault/race-
-        instrumented backend (DESIGN.md §13).
+        Simulator configuration.  ``trace=True`` and ``copy_payloads=``
+        remain simulator-only.  ``faults=`` runs anywhere a fault can
+        be honoured: in full on the simulator, and as the *portable*
+        subset (crash / stall / corrupt-result, DESIGN.md §14) on the
+        real transports — a plan containing drop / delay / duplicate
+        message faults still raises :class:`TransportCapabilityError`
+        off-simulator rather than silently certifying nothing.
+    supervision:
+        A :class:`~repro.machine.supervision.SupervisionPolicy` for the
+        worker supervisor — real (worker-backed) transports only.
 
     Returns
     -------
@@ -454,6 +629,26 @@ def resolve_transport(
             "the simulator is the only fault/race-instrumented backend"
         )
 
+    def _require_workers(cap: str) -> None:
+        raise TransportCapabilityError(
+            f"{cap} requires a worker-backed transport (threads/processes) "
+            f"(got transport={transport_name(spec) if not isinstance(spec, str) else spec!r}); "
+            "only real workers run under the region supervisor"
+        )
+
+    def _check_portable(plan: "FaultPlan") -> None:
+        from .supervision import unportable_faults
+
+        bad = unportable_faults(plan)
+        if bad:
+            raise TransportCapabilityError(
+                f"faults= on transport "
+                f"{transport_name(spec) if not isinstance(spec, str) else spec!r} "
+                f"supports only the portable subset (crash/stall rank faults, "
+                f"corrupt message faults as corrupt-result); not portable: "
+                f"{', '.join(bad)} — use transport='simulator' for those"
+            )
+
     if spec is None or (isinstance(spec, str) and spec == "none"):
         if trace:
             _require_simulator("trace=True")
@@ -461,27 +656,31 @@ def resolve_transport(
             _require_simulator("faults=")
         if copy_payloads:
             _require_simulator("copy_payloads=True")
+        if supervision is not None:
+            _require_workers("supervision=")
         return None
 
     if isinstance(spec, str):
         if spec == "simulator":
+            if supervision is not None:
+                _require_workers("supervision=")
             return Simulator(
                 nranks, model, trace=trace, faults=faults, copy_payloads=copy_payloads
             )
         if spec in ("threads", "processes"):
             if trace:
                 _require_simulator("trace=True")
-            if faults is not None:
-                _require_simulator("faults=")
             if copy_payloads:
                 _require_simulator("copy_payloads=True")
+            if faults is not None:
+                _check_portable(faults)
             if spec == "threads":
                 from .threads import ThreadTransport
 
-                return ThreadTransport(nranks)
+                return ThreadTransport(nranks, supervision=supervision, faults=faults)
             from .processes import ProcessTransport
 
-            return ProcessTransport(nranks)
+            return ProcessTransport(nranks, supervision=supervision, faults=faults)
         raise ValueError(
             f"unknown transport {spec!r}; choose from {TRANSPORT_NAMES} "
             "or pass a Transport instance"
@@ -504,7 +703,14 @@ def resolve_transport(
         # a fault plan cannot be retrofitted onto a live instance
         raise TransportCapabilityError(
             "faults= cannot be combined with a ready transport instance; "
-            "construct Simulator(nranks, model, faults=plan) and pass that"
+            "construct Simulator(nranks, model, faults=plan) or "
+            "ThreadTransport/ProcessTransport(nranks, faults=plan) and pass that"
+        )
+    if supervision is not None:
+        raise TransportCapabilityError(
+            "supervision= cannot be retrofitted onto a ready transport "
+            "instance; construct ThreadTransport/ProcessTransport(nranks, "
+            "supervision=policy) and pass that"
         )
     if copy_payloads and not simulated:
         _require_simulator("copy_payloads=True")
@@ -526,6 +732,7 @@ def resolve_entry_transport(
     trace: bool = False,
     faults: "FaultPlan | None" = None,
     copy_payloads: bool = False,
+    supervision: "SupervisionPolicy | None" = None,
     stacklevel: int = 3,
 ):
     """Entry-point shim shared by every ``transport=`` driver.
@@ -557,4 +764,5 @@ def resolve_entry_transport(
         trace=trace,
         faults=faults,
         copy_payloads=copy_payloads,
+        supervision=supervision,
     )

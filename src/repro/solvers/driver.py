@@ -10,6 +10,7 @@ outcome and the modelled parallel run time (factorization + iterations).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -25,6 +26,9 @@ from .gmres import GMRESResult, gmres
 from .modeled import model_gmres_time
 from .parallel_matvec import parallel_matvec
 from .preconditioners import ILUPreconditioner
+
+if TYPE_CHECKING:
+    from ..machine.supervision import SupervisionPolicy
 
 __all__ = ["ParallelSolveReport", "parallel_solve"]
 
@@ -75,6 +79,7 @@ def parallel_solve(
     seed: int = 0,
     retry: RetryPolicy | None = None,
     faults: FaultPlan | None = None,
+    supervision: "SupervisionPolicy | None" = None,
 ) -> ParallelSolveReport:
     """Solve ``A x = b`` with parallel ILUT(*)-preconditioned GMRES.
 
@@ -87,16 +92,19 @@ def parallel_solve(
     ``transport`` selects the execution backend for every stage
     (factorization, matvec probe, preconditioner probe): ``"simulator"``
     (default), ``"threads"``, ``"processes"`` or ``"none"``.  Real
-    transports return wall-clock rather than modelled times; ``faults=``
-    requires the simulator.
+    transports return wall-clock rather than modelled times.
 
     ``retry`` engages a :class:`~repro.resilience.RetryPolicy` around the
     factorization: a :class:`~repro.resilience.NumericalBreakdown` retries
     with relaxed parameters (larger drop threshold) and the attempt
     history lands in the report's ``failure_report``.  ``faults`` arms a
-    :class:`~repro.faults.FaultPlan` on the factorization's simulator;
-    recoverable faults (rank crash, message drop) are absorbed by the
-    engine's checkpoint/restart and counted in ``recoveries``.
+    :class:`~repro.faults.FaultPlan` on the factorization; on the
+    simulator recoverable faults (rank crash, message drop) are absorbed
+    by the engine's checkpoint/restart, while on the real transports the
+    portable subset (crash / stall / corrupt-result) is absorbed by
+    supervised region retry (DESIGN.md §14) — both are counted in
+    ``recoveries``.  ``supervision`` tunes the worker supervisor on real
+    transports (:class:`~repro.machine.SupervisionPolicy`).
     """
     d = decompose(A, nranks, seed=seed)
     params = ILUTParams(fill=m, threshold=t, k=k)
@@ -105,11 +113,11 @@ def parallel_solve(
         if p.k is None:
             return parallel_ilut(
                 A, p, nranks, decomp=d, model=model, seed=seed, faults=faults,
-                transport=transport,
+                transport=transport, supervision=supervision,
             )
         return parallel_ilut_star(
             A, p, nranks, decomp=d, model=model, seed=seed, faults=faults,
-            transport=transport,
+            transport=transport, supervision=supervision,
         )
 
     failure_report: FailureReport | None = None
@@ -119,12 +127,15 @@ def parallel_solve(
         fact, failure_report = retry.run(_factor, params)
 
     x_probe = np.ones(A.shape[0])
-    t_mv = parallel_matvec(
-        A, d, x_probe, model=model, transport=transport
-    ).modeled_time or 0.0
-    t_pc = parallel_triangular_solve(
-        fact.factors, x_probe, nranks=nranks, model=model, transport=transport
-    ).modeled_time or 0.0
+    mv = parallel_matvec(
+        A, d, x_probe, model=model, transport=transport, supervision=supervision
+    )
+    t_mv = mv.modeled_time or 0.0
+    pc = parallel_triangular_solve(
+        fact.factors, x_probe, nranks=nranks, model=model, transport=transport,
+        supervision=supervision,
+    )
+    t_pc = pc.modeled_time or 0.0
 
     res: GMRESResult = gmres(
         A, b, restart=restart, tol=tol, maxiter=maxiter,
@@ -144,6 +155,6 @@ def parallel_solve(
         precond_time=t_pc,
         failure_report=failure_report or res.failure_report,
         fault_journal=fact.fault_journal,
-        recoveries=fact.recoveries,
+        recoveries=fact.recoveries + mv.recoveries + pc.recoveries,
         transport=fact.transport,
     )

@@ -30,6 +30,7 @@ from ..machine import (
 from ..sparse import CSRMatrix
 
 if TYPE_CHECKING:
+    from ..machine.supervision import SupervisionPolicy
     from ..verify.trace import AccessTracer
 
 __all__ = ["MatvecResult", "parallel_matvec"]
@@ -45,6 +46,7 @@ class MatvecResult:
     flops: float
     trace: AccessTracer | None = None
     fault_journal: FaultJournal | None = None
+    recoveries: int = 0
     transport: str = "none"
 
 
@@ -61,6 +63,7 @@ def parallel_matvec(
     backend: str | None = None,
     faults: FaultPlan | None = None,
     copy_payloads: bool = False,
+    supervision: "SupervisionPolicy | None" = None,
 ) -> MatvecResult:
     """Compute ``y = A @ x`` with halo exchange + local compute.
 
@@ -79,11 +82,15 @@ def parallel_matvec(
     boolean maps ``True`` to ``"simulator"`` and ``False`` to
     ``"none"`` under a :class:`DeprecationWarning`.
 
-    ``faults`` arms a :class:`~repro.faults.FaultPlan` on the simulator
-    (requires ``transport="simulator"``); injected message faults
-    surface as :class:`~repro.faults.MessageLost` /
-    :class:`~repro.faults.RankFailure` and the journal is returned on
-    the result.
+    ``faults`` arms a :class:`~repro.faults.FaultPlan`; the simulator
+    honours every fault kind (injected message faults surface as
+    :class:`~repro.faults.MessageLost` /
+    :class:`~repro.faults.RankFailure`), while the real transports
+    honour the portable subset — crash / stall rank faults and corrupt
+    message faults (as corrupt-result) — and recover by supervised
+    region retry (DESIGN.md §14).  The journal is returned on the
+    result.  ``supervision`` tunes the worker supervisor
+    (:class:`~repro.machine.SupervisionPolicy`; real transports only).
 
     ``copy_payloads=True`` pickle round-trips every simulated message at
     post time (the serializing-transport debug oracle; requires
@@ -102,10 +109,12 @@ def parallel_matvec(
         trace=trace,
         faults=faults,
         copy_payloads=copy_payloads,
+        supervision=supervision,
     )
     owned = not is_transport(transport)
     try:
         res = _matvec_on(A, decomp, x, sim, halo_plan, backend)
+        res.recoveries = getattr(sim, "region_recoveries", 0)
         res.transport = transport_name(sim)
         return res
     finally:
