@@ -101,18 +101,19 @@ def run(nx: int, repeat: int) -> dict:
                 ),
                 repeat,
             )
+            # real transports measure wall clock only: they run actual
+            # workers, so there is no modeled time to report.  The marker
+            # is what downstream checks key on — not the null fields.
+            wall_only = name != "simulator"
             rows.append(
                 {
                     "transport": name,
                     "ranks": p,
+                    "wall_only": wall_only,
                     "factor_wall_s": t_fact,
                     "solve_wall_s": t_solve,
-                    "factor_modeled_s": fact.modeled_time
-                    if name == "simulator"
-                    else None,
-                    "solve_modeled_s": sol.modeled_time
-                    if name == "simulator"
-                    else None,
+                    "factor_modeled_s": None if wall_only else fact.modeled_time,
+                    "solve_modeled_s": None if wall_only else sol.modeled_time,
                     "num_levels": fact.num_levels,
                     "messages": fact.comm.messages,
                 }
@@ -183,6 +184,27 @@ def supervision_overhead(A, params, repeat: int) -> list[dict]:
     return out
 
 
+def modeled_mismatches(rows: list[dict]) -> list[str]:
+    """Modeled-time sanity over the result rows.
+
+    Rows from real transports are skipped by their explicit
+    ``wall_only`` marker — not by sniffing for null modeled fields, so
+    a simulator row that *lost* its modeled numbers is an error rather
+    than silently passing as "real transport".
+    """
+    out: list[str] = []
+    for row in rows:
+        if row["wall_only"]:
+            continue
+        for key in ("factor_modeled_s", "solve_modeled_s"):
+            v = row[key]
+            if not (isinstance(v, float) and v > 0.0):
+                out.append(
+                    f"p={row['ranks']} {row['transport']}: {key} = {v!r}"
+                )
+    return out
+
+
 def main(argv: list[str] | None = None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--quick", action="store_true", help="small matrix, 1 repeat")
@@ -211,6 +233,13 @@ def main(argv: list[str] | None = None) -> int:
         failed = True
     elif args.check:
         print("parity check passed: all transports bit-identical to simulator")
+    modeled_bad = modeled_mismatches(doc["rows"])
+    if modeled_bad:
+        for m in modeled_bad:
+            print(f"MODELED FIELD FAILURE: {m}", file=sys.stderr)
+        failed = True
+    elif args.check:
+        print("modeled fields present on every non-wall-only row")
     if not doc["supervision_overhead_ok"]:
         for row in doc["supervision_overhead"]:
             if not row["ok"]:

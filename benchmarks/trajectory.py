@@ -1,0 +1,159 @@
+"""Benchmark trajectory: append runs, gate on wall-clock regressions.
+
+Collects every ``BENCH_*.json`` artifact at the repo root into one
+tagged entry appended to ``BENCH_TRAJECTORY.json``, then compares the
+entry's wall-clock metrics against the previous entry: any metric that
+regressed by more than ``--tolerance`` (default 10%) fails the run.
+Modeled times are excluded from the gate — they are deterministic
+outputs of the machine model and certified elsewhere (``repro lint
+--verify-costs``); only measured wall seconds belong in a noise-aware
+trajectory gate.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/trajectory.py --tag pr10
+    PYTHONPATH=src python benchmarks/trajectory.py --tag pr10 --dry-run
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+TRAJECTORY_NAME = "BENCH_TRAJECTORY.json"
+DEFAULT_TOLERANCE = 0.10
+
+
+def _flatten(doc, prefix: str = "") -> dict[str, float]:
+    """Wall-clock leaves of a benchmark document, keyed by dotted path.
+
+    A metric is a float whose key ends in ``_s`` and does not mention
+    ``modeled``.  List elements of dicts are keyed by their identifying
+    fields (``transport``/``ranks``) when present so the path stays
+    stable under row reordering; otherwise by index.
+    """
+    out: dict[str, float] = {}
+    if isinstance(doc, dict):
+        for key, value in sorted(doc.items()):
+            path = f"{prefix}.{key}" if prefix else str(key)
+            if (
+                isinstance(value, (int, float))
+                and not isinstance(value, bool)
+                and key.endswith("_s")
+                and "modeled" not in key
+            ):
+                out[path] = float(value)
+            elif isinstance(value, (dict, list)):
+                out.update(_flatten(value, path))
+    elif isinstance(doc, list):
+        for idx, item in enumerate(doc):
+            label = str(idx)
+            if isinstance(item, dict):
+                ident = [
+                    str(item[k]) for k in ("transport", "ranks") if k in item
+                ]
+                if ident:
+                    label = "@".join(ident)
+            out.update(_flatten(item, f"{prefix}[{label}]"))
+    return out
+
+
+def collect_metrics(root: Path) -> dict[str, float]:
+    """One flat metric map over every ``BENCH_*.json`` at ``root``."""
+    metrics: dict[str, float] = {}
+    for path in sorted(root.glob("BENCH_*.json")):
+        if path.name == TRAJECTORY_NAME:
+            continue
+        doc = json.loads(path.read_text())
+        stem = path.stem.removeprefix("BENCH_")
+        metrics.update(_flatten(doc, stem))
+    return metrics
+
+
+def regressions(
+    previous: dict[str, float],
+    current: dict[str, float],
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> list[str]:
+    """Metrics that got slower than ``(1 + tolerance) * previous``.
+
+    Only metrics present in both entries participate: renamed or new
+    benchmarks start a fresh baseline rather than failing the gate.
+    """
+    out = []
+    for name in sorted(set(previous) & set(current)):
+        old, new = previous[name], current[name]
+        if old > 0 and new > old * (1.0 + tolerance):
+            out.append(
+                f"{name}: {old:.4f}s -> {new:.4f}s "
+                f"(+{100.0 * (new / old - 1.0):.1f}%)"
+            )
+    return out
+
+
+def append_run(
+    root: Path,
+    tag: str,
+    tolerance: float = DEFAULT_TOLERANCE,
+    dry_run: bool = False,
+) -> tuple[list[str], dict]:
+    """Append a tagged entry to the trajectory; return (regressions, entry)."""
+    metrics = collect_metrics(root)
+    trajectory_path = root / TRAJECTORY_NAME
+    entries: list[dict] = []
+    if trajectory_path.exists():
+        entries = json.loads(trajectory_path.read_text())["entries"]
+    entry = {"tag": tag, "metrics": metrics}
+    regressed = (
+        regressions(entries[-1]["metrics"], metrics, tolerance)
+        if entries
+        else []
+    )
+    if not dry_run:
+        entries.append(entry)
+        trajectory_path.write_text(
+            json.dumps({"tolerance": tolerance, "entries": entries}, indent=2)
+            + "\n"
+        )
+    return regressed, entry
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--tag", required=True, help="label for this run (e.g. the PR)")
+    ap.add_argument(
+        "--root",
+        default=str(REPO_ROOT),
+        help="directory holding the BENCH_*.json artifacts",
+    )
+    ap.add_argument(
+        "--tolerance",
+        type=float,
+        default=DEFAULT_TOLERANCE,
+        help="allowed fractional slowdown before the gate fails (default 0.10)",
+    )
+    ap.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="report regressions without appending to the trajectory",
+    )
+    args = ap.parse_args(argv)
+
+    root = Path(args.root)
+    regressed, entry = append_run(
+        root, args.tag, tolerance=args.tolerance, dry_run=args.dry_run
+    )
+    print(f"tag {entry['tag']}: {len(entry['metrics'])} wall-clock metric(s)")
+    if regressed:
+        for line in regressed:
+            print(f"REGRESSION: {line}", file=sys.stderr)
+        return 1
+    print(f"no regression beyond {100.0 * args.tolerance:.0f}% vs previous entry")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -18,6 +18,7 @@ import numpy as np
 from ..decomp import DomainDecomposition, decompose
 from ..faults import FaultPlan
 from ..graph import Graph, color_classes, greedy_coloring
+from ..kernels import csr_gather_rows
 from ..machine import (
     CRAY_T3D,
     MachineModel,
@@ -244,16 +245,20 @@ def parallel_ilu0(
         # rows of this class reference factored interface rows of earlier
         # classes on other ranks.  Charge the per-class exchange.
         if sim is not None:
+            # vectorized gather keeps the scalar walk's (row, storage)
+            # entry order, so the need accumulation below charges in the
+            # exact order the per-row loop used to
+            ii, cc, _ = csr_gather_rows(A, np.asarray(cls, dtype=np.int64))
+            earlier = (
+                (pos[cc] < pos[ii]) & decomp.is_interface[cc] & (part[cc] != part[ii])
+            )
             need: dict[tuple[int, int], float] = {}
-            for i in cls:
-                r = int(part[i])
-                cols, _ = A.row(int(i))
-                for c in cols:
-                    if pos[c] < pos[i] and decomp.is_interface[c]:
-                        s = int(part[c])
-                        if s != r:
-                            nw = u_rows[int(c)][0].size * 2.0 if int(c) in u_rows else 2.0
-                            need[(s, r)] = need.get((s, r), 0.0) + nw
+            for i, c in zip(ii[earlier], cc[earlier]):
+                c = int(c)
+                nw = u_rows[c][0].size * 2.0 if c in u_rows else 2.0
+                need[(int(part[c]), int(part[i]))] = (
+                    need.get((int(part[c]), int(part[i])), 0.0) + nw
+                )
             for (src, dst), words in sorted(need.items()):
                 sim.send(src, dst, None, words, tag=("ilu0", lvl_idx))
             for (src, dst), _words in sorted(need.items()):

@@ -16,6 +16,7 @@ from .backend import (
 )
 from .csr import (
     csr_diagonal,
+    csr_gather_rows,
     csr_matvec,
     csr_row_norms,
     segment_sums,
@@ -42,6 +43,7 @@ __all__ = [
     "csr_matvec",
     "csr_row_norms",
     "csr_diagonal",
+    "csr_gather_rows",
     "split_lu_vectorized",
     "keep_largest_vec",
     "second_rule_vec",

@@ -26,6 +26,7 @@ __all__ = [
     "csr_matvec",
     "csr_row_norms",
     "csr_diagonal",
+    "csr_gather_rows",
     "split_lu_vectorized",
 ]
 
@@ -73,6 +74,27 @@ def _row_ids(A: CSRMatrix) -> np.ndarray:
     return np.repeat(
         np.arange(A.shape[0], dtype=np.int64), np.diff(A.indptr)
     )
+
+
+def csr_gather_rows(
+    A: CSRMatrix, rows: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Stored entries of ``rows`` as flat ``(row, col, flat-index)`` arrays.
+
+    The entries come out in the caller's row order, storage order within
+    each row — exactly the order a scalar ``for i in rows: A.row(i)``
+    walk visits them, which is what lets driver loops swap to this
+    without perturbing any order-sensitive accumulation.  The third
+    array indexes into ``A.indices``/``A.data`` for value gathers.
+    """
+    rows = np.asarray(rows, dtype=np.int64)
+    starts = A.indptr[rows]
+    lens = A.indptr[rows + 1] - starts
+    flat = np.arange(int(lens.sum()), dtype=np.int64)
+    if rows.size:
+        ends = np.cumsum(lens)
+        flat += np.repeat(starts - (ends - lens), lens)
+    return np.repeat(rows, lens), A.indices[flat], flat
 
 
 def csr_diagonal(A: CSRMatrix) -> np.ndarray:

@@ -24,7 +24,7 @@ from .findings import Finding, Severity
 __all__ = ["CACHE_DIR_NAME", "AnalysisCache", "package_signature"]
 
 CACHE_DIR_NAME = ".repro-lint-cache"
-_VERSION = 2
+_VERSION = 3
 _MAX_ENTRIES = 4096
 
 _pkg_sig_memo: str | None = None

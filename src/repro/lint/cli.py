@@ -9,7 +9,9 @@ anything would change (the pre-commit check mode).
 ``--verify-protocol`` runs the symbolic SPMD protocol verifier and
 prints a per-driver certification table; ``--verify-transport`` does
 the same for the transport-portability analysis (escape/aliasing,
-pickle-safety, hidden state, dtype discipline).
+pickle-safety, hidden state, dtype discipline); ``--verify-costs``
+certifies the statically derived flop/comm cost models against the
+simulator's recorded charges on small seeded instances.
 """
 
 from __future__ import annotations
@@ -93,7 +95,10 @@ def add_lint_parser(sub: "argparse._SubParsersAction") -> argparse.ArgumentParse
     p.add_argument(
         "--fix",
         action="store_true",
-        help="apply mechanical fixes (DET001/DET002/DET004/BRK001) in place",
+        help=(
+            "apply mechanical fixes (DET001/DET002/DET004/BRK001/"
+            "PERF002/PERF004) in place"
+        ),
     )
     p.add_argument(
         "--diff",
@@ -111,6 +116,14 @@ def add_lint_parser(sub: "argparse._SubParsersAction") -> argparse.ArgumentParse
         help=(
             "certify the SPMD drivers transport-portable (escape/aliasing, "
             "pickle-safety, hidden state, dtype discipline)"
+        ),
+    )
+    p.add_argument(
+        "--verify-costs",
+        action="store_true",
+        help=(
+            "certify the symbolic flop/comm cost models against the "
+            "simulator's recorded charges on small seeded instances"
         ),
     )
     p.add_argument(
@@ -298,6 +311,53 @@ def _cmd_verify_transport(paths: list[Path], root: Path) -> int:
     return 0 if all_ok else 1
 
 
+def _cmd_verify_costs(paths: list[Path], root: Path) -> int:
+    from .costverify import verify_costs
+
+    config = LintConfig(project_root=root)
+    explicit = {p.resolve() for p in paths if p.is_file()}
+    modules = [
+        m
+        for f in collect_files(paths)
+        if (m := parse_module(f, root)) is not None
+        and (
+            f in explicit
+            or not any(m.relpath.startswith(p) for p in config.exclude)
+        )
+    ]
+    reports = verify_costs(modules, root)
+    if not reports:
+        print("no cost roots found to verify")
+        return 1
+    all_ok = True
+    for r in reports:
+        status = "CERTIFIED" if r.certified else "DRIFT"
+        model = ", ".join(
+            f"{name}={text}" for name, text in r.expressions.items()
+        )
+        print(
+            f"{status:<9} {r.module}::{r.qualname}  "
+            f"runs={r.runs} sites={r.sites} checks={len(r.checks)}"
+        )
+        if model:
+            print(f"  model: {model}")
+        for p in r.problems:
+            print(f"  problem: {p}")
+        for c in r.checks:
+            if c.status != "ok":
+                print(
+                    f"  drift: {c.name}: expected {c.expected}, "
+                    f"got {c.actual}"
+                    + (f" ({c.detail})" if c.detail else "")
+                )
+        all_ok = all_ok and r.certified
+    print(
+        f"{sum(1 for r in reports if r.certified)}/{len(reports)} cost model(s) "
+        "certified against runtime charges"
+    )
+    return 0 if all_ok else 1
+
+
 def cmd_lint(args: argparse.Namespace) -> int:
     config = LintConfig(
         select=tuple(s for s in args.select.split(",") if s),
@@ -321,6 +381,8 @@ def cmd_lint(args: argparse.Namespace) -> int:
         return _cmd_verify_protocol(paths, root)
     if args.verify_transport:
         return _cmd_verify_transport(paths, root)
+    if args.verify_costs:
+        return _cmd_verify_costs(paths, root)
     if args.fix:
         return _cmd_fix(args, paths, root)
 

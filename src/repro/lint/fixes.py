@@ -14,6 +14,18 @@ Fixers exist for the rules whose remedy is a *local* rewrite:
     (``ZeroDivisionError`` → ``ZeroPivotError``, ``FloatingPointError``
     → ``NonFiniteError``, message-routed for ``ValueError``/
     ``ArithmeticError``) and inject the ``repro.resilience`` import.
+``PERF002``
+    Preallocate the provably-float list-append-then-``np.array`` shape:
+    ``name = []`` → ``np.zeros(n)``, the loop-body ``append`` → indexed
+    assignment, the final ``np.array(name)`` → ``np.asarray(name)``.
+    Only fired when the list is touched nowhere else, the append is
+    unconditional in a single-argument ``range`` loop, and the element
+    expression is provably float — the rewrite is then value-identical
+    bit for bit.
+``PERF004``
+    Elide the redundant defensive copy of a freshly allocated,
+    otherwise-dead buffer: ``name.copy()`` / ``np.array(name)`` →
+    ``name``.
 
 Safety contract
 ---------------
@@ -41,10 +53,11 @@ from .rules.determinism import (
     _set_bound_names,
     _unordered_iter_reason,
 )
+from .rules.perf import _copy_calls_of_fresh
 
 __all__ = ["AppliedFix", "FixOutcome", "fix_source", "fix_paths", "render_diff"]
 
-_FIXABLE_RULES = ("BRK001", "DET001", "DET002", "DET004")
+_FIXABLE_RULES = ("BRK001", "DET001", "DET002", "DET004", "PERF002", "PERF004")
 _MAX_PASSES = 4
 
 
@@ -147,6 +160,122 @@ def _bound_top_level_names(tree: ast.Module) -> set[str]:
         elif isinstance(node, ast.ClassDef):
             names.add(node.name)
     return names
+
+
+def _replace_child(parent: ast.AST, old: ast.AST, new: ast.AST) -> None:
+    """Swap ``old`` for ``new`` wherever it sits in ``parent``'s fields."""
+    for name, value in ast.iter_fields(parent):
+        if value is old:
+            setattr(parent, name, new)
+            return
+        if isinstance(value, list):
+            for i, item in enumerate(value):
+                if item is old:
+                    value[i] = new
+                    return
+
+
+def _provably_float(node: ast.AST) -> bool:
+    """The expression's value is a Python/numpy float for sure."""
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, float)
+    if isinstance(node, ast.Call):
+        return isinstance(node.func, ast.Name) and node.func.id == "float"
+    if isinstance(node, ast.BinOp):
+        return _provably_float(node.left) or _provably_float(node.right)
+    if isinstance(node, ast.UnaryOp):
+        return _provably_float(node.operand)
+    return False
+
+
+def _preallocatable_lists(func: ast.AST):
+    """PERF002 candidates safe for the zeros+indexed-assignment rewrite.
+
+    Yields ``(init assign, for loop, append stmt, np.array call,
+    range arg, loop var, name)`` where the rewrite is provably
+    value-identical: the list is born empty, appended exactly once and
+    unconditionally per iteration of a single-argument ``range`` loop
+    whose variable is untouched, converted with a bare ``np.array``, and
+    referenced nowhere else; the element expression is provably float,
+    so ``np.array``'s dtype inference agrees with ``np.zeros``.
+    """
+    inits: dict[str, ast.Assign] = {}
+    for node in ast.walk(func):
+        if (
+            isinstance(node, ast.Assign)
+            and len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Name)
+            and isinstance(node.value, ast.List)
+            and not node.value.elts
+        ):
+            inits[node.targets[0].id] = node
+    for name, init in sorted(inits.items()):
+        uses = [
+            n
+            for n in ast.walk(func)
+            if isinstance(n, ast.Name) and n.id == name
+        ]
+        if len(uses) != 3:  # init target, append receiver, np.array arg
+            continue
+        appends = [
+            n
+            for n in ast.walk(func)
+            if isinstance(n, ast.Expr)
+            and isinstance(n.value, ast.Call)
+            and isinstance(n.value.func, ast.Attribute)
+            and n.value.func.attr == "append"
+            and isinstance(n.value.func.value, ast.Name)
+            and n.value.func.value.id == name
+        ]
+        if len(appends) != 1 or len(appends[0].value.args) != 1:
+            continue
+        append_stmt = appends[0]
+        if not _provably_float(append_stmt.value.args[0]):
+            continue
+        loop = append_stmt._lint_parent  # type: ignore[attr-defined]
+        if (
+            not isinstance(loop, ast.For)
+            or append_stmt not in loop.body
+            or not isinstance(loop.target, ast.Name)
+            or not isinstance(loop.iter, ast.Call)
+            or not isinstance(loop.iter.func, ast.Name)
+            or loop.iter.func.id != "range"
+            or len(loop.iter.args) != 1
+            or loop.iter.keywords
+        ):
+            continue
+        ivar = loop.target.id
+        rebound_in_body = any(
+            isinstance(n, ast.Name)
+            and n.id == ivar
+            and isinstance(n.ctx, ast.Store)
+            for stmt in loop.body
+            for n in ast.walk(stmt)
+        )
+        if rebound_in_body:
+            continue
+        arrays = [
+            n
+            for n in ast.walk(func)
+            if isinstance(n, ast.Call)
+            and isinstance(n.func, ast.Attribute)
+            and dotted_name(n.func) in ("np.array", "numpy.array")
+            and len(n.args) == 1
+            and not n.keywords
+            and isinstance(n.args[0], ast.Name)
+            and n.args[0].id == name
+        ]
+        if len(arrays) != 1:
+            continue
+        yield (
+            init,
+            loop,
+            append_stmt,
+            arrays[0],
+            loop.iter.args[0],
+            ivar,
+            name,
+        )
 
 
 class _Pass:
@@ -387,6 +516,104 @@ class _Pass:
 
         self.mutations.append(mutate)
 
+    # -- PERF002 ------------------------------------------------------
+
+    def plan_perf002(self) -> None:
+        for func in ast.walk(self.tree):
+            if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            for cand in _preallocatable_lists(func):
+                init, loop, append_stmt, array_call, range_arg, ivar, name = cand
+                base = dotted_name(array_call.func.value)
+                # name = [] -> name = np.zeros(<range arg>)
+                start, end = _span(self.offs, init.value)
+                arg_start, arg_end = _span(self.offs, range_arg)
+                arg_text = self.source[arg_start:arg_end]
+                self.edits.append(_Edit(start, end, f"{base}.zeros({arg_text})"))
+
+                def mutate_init(n=init, b=base, a=range_arg):
+                    n.value = ast.Call(
+                        func=ast.Attribute(
+                            value=ast.Name(id=b, ctx=ast.Load()),
+                            attr="zeros",
+                            ctx=ast.Load(),
+                        ),
+                        args=[a],
+                        keywords=[],
+                    )
+
+                self.mutations.append(mutate_init)
+                # name.append(expr) -> name[i] = expr
+                call = append_stmt.value
+                expr = call.args[0]
+                e_start, e_end = _span(self.offs, expr)
+                s_start, s_end = _span(self.offs, call)
+                self.edits.append(
+                    _Edit(
+                        s_start,
+                        s_end,
+                        f"{name}[{ivar}] = {self.source[e_start:e_end]}",
+                    )
+                )
+
+                def mutate_append(
+                    lp=loop, st=append_stmt, nm=name, iv=ivar, ex=expr
+                ):
+                    lp.body[lp.body.index(st)] = ast.Assign(
+                        targets=[
+                            ast.Subscript(
+                                value=ast.Name(id=nm, ctx=ast.Load()),
+                                slice=ast.Name(id=iv, ctx=ast.Load()),
+                                ctx=ast.Store(),
+                            )
+                        ],
+                        value=ex,
+                    )
+
+                self.mutations.append(mutate_append)
+                # np.array(name) -> np.asarray(name) (no-copy on the
+                # now-already-float64 buffer)
+                f_start, f_end = _span(self.offs, array_call.func)
+                self.edits.append(_Edit(f_start, f_end, f"{base}.asarray"))
+                self.mutations.append(
+                    lambda c=array_call: setattr(c.func, "attr", "asarray")
+                )
+                self.fixes.append(
+                    AppliedFix(
+                        rule="PERF002",
+                        path=self.relpath,
+                        line=append_stmt.lineno,
+                        description=(
+                            f"preallocated {name!r} with {base}.zeros and "
+                            "indexed assignment"
+                        ),
+                    )
+                )
+
+    # -- PERF004 ------------------------------------------------------
+
+    def plan_perf004(self) -> None:
+        for func in ast.walk(self.tree):
+            if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            for call, name in _copy_calls_of_fresh(func):
+                start, end = _span(self.offs, call)
+                self.edits.append(_Edit(start, end, name))
+
+                def mutate(c=call, nm=name):
+                    parent = c._lint_parent  # type: ignore[attr-defined]
+                    _replace_child(parent, c, ast.Name(id=nm, ctx=ast.Load()))
+
+                self.mutations.append(mutate)
+                self.fixes.append(
+                    AppliedFix(
+                        rule="PERF004",
+                        path=self.relpath,
+                        line=call.lineno,
+                        description=f"elided redundant copy of {name!r}",
+                    )
+                )
+
     # -- drive --------------------------------------------------------
 
     def run(self) -> tuple[str | None, list[AppliedFix]]:
@@ -399,6 +626,10 @@ class _Pass:
             self.plan_det004()
         if self.enabled("BRK001"):
             self.plan_brk001()
+        if self.enabled("PERF002"):
+            self.plan_perf002()
+        if self.enabled("PERF004"):
+            self.plan_perf004()
         if not self.edits:
             return self.source, []
         new_source = _apply_edits(self.source, self.edits)

@@ -19,11 +19,26 @@ program semantics to reason over:
   symbolic execution of a composed summary over concrete rank counts,
   certifying drivers deadlock-free or producing located findings;
 * :mod:`~repro.lint.flow.taint` — rank-taint and RNG-taint def-use
-  analyses with full chains for the finding messages.
+  analyses with full chains for the finding messages;
+* :mod:`~repro.lint.flow.cost` — symbolic loop-bound and cost analysis:
+  extracts every simulator charge site reachable from the certified
+  comm roots, derives per-site fire-count expressions from the loop
+  nests, and carries the closed-form flop/comm models that
+  ``repro lint --verify-costs`` certifies against runtime charges.
 """
 
 from .callgraph import CallGraph, build_call_graph
 from .cfg import CFG, BasicBlock, build_cfg, function_cfgs
+from .cost import (
+    COST_ROOTS,
+    COST_SPECS,
+    ChargeSite,
+    CostAnalysis,
+    CostExpr,
+    CostSpec,
+    analyze_costs,
+    extract_charge_sites,
+)
 from .dataflow import (
     NAC,
     UNDEF,
@@ -56,6 +71,14 @@ __all__ = [
     "eval_const_expr",
     "CallGraph",
     "build_call_graph",
+    "COST_ROOTS",
+    "COST_SPECS",
+    "ChargeSite",
+    "CostAnalysis",
+    "CostExpr",
+    "CostSpec",
+    "analyze_costs",
+    "extract_charge_sites",
     "CommOp",
     "FunctionSummary",
     "summarize_function",

@@ -30,10 +30,12 @@ __all__ = [
 #: intentionally-partial ways, so only the determinism/breakdown
 #: families apply there.  Tests additionally assert exact float values
 #: against constructed data on purpose, so DET003 (float-equality) is
-#: off for them.
+#: off for them.  The PERF vectorization family is likewise scoped to
+#: library code — tests and benchmarks build scalar shapes deliberately
+#: (oracles, per-element assertions, timing loops).
 DEFAULT_PROFILES: dict[str, tuple[str, ...]] = {
-    "tests/": ("SPMD", "PAR", "TRN", "DET003"),
-    "benchmarks/": ("SPMD", "PAR", "TRN"),
+    "tests/": ("SPMD", "PAR", "TRN", "DET003", "PERF"),
+    "benchmarks/": ("SPMD", "PAR", "TRN", "PERF"),
 }
 
 #: Paths never linted: rule fixtures are deliberate violations.

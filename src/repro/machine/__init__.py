@@ -11,6 +11,7 @@ arrays).  ``resolve_transport`` maps the drivers' ``transport=``
 keyword onto an instance.
 """
 
+from .ledger import ChargeEvent, ChargeLedger
 from .model import CRAY_T3D, IDEAL, WORKSTATION_CLUSTER, MachineModel
 from .processes import ProcessTransport
 from .simulator import CommStats, Simulator, SimulatorSnapshot
@@ -44,6 +45,8 @@ __all__ = [
     "IDEAL",
     "Simulator",
     "CommStats",
+    "ChargeEvent",
+    "ChargeLedger",
     "SimulatorSnapshot",
     "Transport",
     "LocalTransport",

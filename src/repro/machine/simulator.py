@@ -72,6 +72,7 @@ from typing import TYPE_CHECKING, Any, Callable, Iterable, Sequence
 import numpy as np
 
 from ..faults import FaultJournal, FaultPlan, FaultRuntime, MessageLost
+from .ledger import ChargeLedger
 from .model import MachineModel
 
 if TYPE_CHECKING:
@@ -150,11 +151,18 @@ class Simulator:
         trace: bool = False,
         faults: FaultPlan | None = None,
         copy_payloads: bool = False,
+        ledger: ChargeLedger | None = None,
     ) -> None:
         if nranks < 1:
             raise ValueError(f"nranks must be >= 1, got {nranks}")
         self.nranks = int(nranks)
         self.model = model
+        #: Opt-in charge introspection (``repro lint --verify-costs``):
+        #: every compute/advance/send/barrier/collective charge is
+        #: recorded with the driver line that issued it.  ``None`` (the
+        #: default) keeps the hot path at a ``None`` check per call and
+        #: results bit-identical either way.
+        self.ledger = ledger
         #: Debug oracle for transport portability: with
         #: ``copy_payloads=True`` every posted payload is pickle
         #: round-tripped *at post time*, exactly what a serializing
@@ -223,6 +231,8 @@ class Simulator:
         if flops < 0:
             raise ValueError(f"flops must be non-negative, got {flops}")
         self._guard_rank(rank)
+        if self.ledger is not None:
+            self.ledger.record("compute", rank, flops)
         cost = self.model.compute_cost(flops)
         self.clock[rank] += cost
         self._busy[rank] += cost
@@ -234,6 +244,8 @@ class Simulator:
         if seconds < 0:
             raise ValueError("seconds must be non-negative")
         self._guard_rank(rank)
+        if self.ledger is not None:
+            self.ledger.record("advance", rank, seconds)
         self.clock[rank] += seconds
 
     def pardo(self, thunks: Sequence[Callable[[], Any] | None]) -> list[Any]:
@@ -303,6 +315,8 @@ class Simulator:
             # local hand-off: free, but keep FIFO semantics
             self._mail[(src, dst, tag)].append((self.clock[src], payload, 0.0, attached))
             return
+        if self.ledger is not None:
+            self.ledger.record("send", src, nwords)
         cost = self.model.message_cost(nwords)
         arrival = self.clock[src] + cost
         # sender pays the injection (latency) portion; overlap of the
@@ -384,6 +398,8 @@ class Simulator:
         """Synchronise all ranks: wait for the slowest, plus the cost of a
         log2(p)-step synchronisation tree (zero-payload collective)."""
         self._guard_all()
+        if self.ledger is not None:
+            self.ledger.record("barrier", -1, 0.0)
         self.clock[:] = self.clock.max() + self.model.collective_cost(self.nranks, 0.0)
         self._barriers += 1
         if self.tracer is not None:
@@ -401,6 +417,8 @@ class Simulator:
             )
         self._guard_all()
         nwords = float(np.prod(arr.shape[1:])) if arr.ndim > 1 else 1.0
+        if self.ledger is not None:
+            self.ledger.record("allreduce", -1, nwords)
         cost = self.model.collective_cost(self.nranks, nwords)
         self.clock[:] = self.clock.max() + cost
         self._collectives += 1
@@ -423,6 +441,8 @@ class Simulator:
                 f"allgather expects one payload per rank ({self.nranks}), got {len(values)}"
             )
         self._guard_all()
+        if self.ledger is not None:
+            self.ledger.record("allgather", -1, nwords_each * self.nranks)
         cost = self.model.collective_cost(self.nranks, nwords_each * self.nranks)
         self.clock[:] = self.clock.max() + cost
         self._collectives += 1

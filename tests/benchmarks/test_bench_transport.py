@@ -1,0 +1,52 @@
+"""The wall-only marker contract on transport benchmark rows."""
+
+import importlib.util
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+@pytest.fixture(scope="module")
+def bench():
+    spec = importlib.util.spec_from_file_location(
+        "bench_transport_mod", REPO / "benchmarks" / "bench_transport.py"
+    )
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    return mod
+
+
+def test_wall_only_rows_are_skipped_by_marker(bench):
+    rows = [
+        {
+            "transport": "threads",
+            "ranks": 2,
+            "wall_only": True,
+            "factor_modeled_s": None,
+            "solve_modeled_s": None,
+        },
+        {
+            "transport": "simulator",
+            "ranks": 2,
+            "wall_only": False,
+            "factor_modeled_s": 0.25,
+            "solve_modeled_s": 0.125,
+        },
+    ]
+    assert bench.modeled_mismatches(rows) == []
+
+
+def test_simulator_row_missing_modeled_fields_is_an_error(bench):
+    rows = [
+        {
+            "transport": "simulator",
+            "ranks": 4,
+            "wall_only": False,
+            "factor_modeled_s": None,  # lost its modeled time
+            "solve_modeled_s": 0.125,
+        }
+    ]
+    bad = bench.modeled_mismatches(rows)
+    assert len(bad) == 1 and "factor_modeled_s" in bad[0]

@@ -1,0 +1,118 @@
+"""The benchmark trajectory gate: collection, appending, regression math."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+@pytest.fixture(scope="module")
+def trajectory():
+    spec = importlib.util.spec_from_file_location(
+        "bench_trajectory", REPO / "benchmarks" / "trajectory.py"
+    )
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    return mod
+
+
+def _write_bench(root: Path, factor_s: float, solve_s: float) -> None:
+    doc = {
+        "benchmark": "transport",
+        "rows": [
+            {
+                "transport": "threads",
+                "ranks": 2,
+                "wall_only": True,
+                "factor_wall_s": factor_s,
+                "solve_wall_s": solve_s,
+                "factor_modeled_s": None,
+            },
+            {
+                "transport": "simulator",
+                "ranks": 2,
+                "wall_only": False,
+                "factor_wall_s": factor_s / 2,
+                "factor_modeled_s": 0.5,
+            },
+        ],
+        "supervision_overhead": [
+            {"transport": "threads", "ranks": 4, "supervised_wall_s": 0.9}
+        ],
+    }
+    (root / "BENCH_transport.json").write_text(json.dumps(doc))
+
+
+class TestCollection:
+    def test_flattens_wall_seconds_by_stable_path(self, trajectory, tmp_path):
+        _write_bench(tmp_path, 2.0, 1.0)
+        metrics = trajectory.collect_metrics(tmp_path)
+        assert metrics["transport.rows[threads@2].factor_wall_s"] == 2.0
+        assert metrics["transport.rows[threads@2].solve_wall_s"] == 1.0
+        assert (
+            metrics["transport.supervision_overhead[threads@4].supervised_wall_s"]
+            == 0.9
+        )
+
+    def test_modeled_and_non_second_fields_excluded(self, trajectory, tmp_path):
+        _write_bench(tmp_path, 2.0, 1.0)
+        metrics = trajectory.collect_metrics(tmp_path)
+        assert not any("modeled" in name for name in metrics)
+        assert not any(name.endswith("ranks") for name in metrics)
+
+    def test_trajectory_file_itself_not_collected(self, trajectory, tmp_path):
+        _write_bench(tmp_path, 2.0, 1.0)
+        (tmp_path / trajectory.TRAJECTORY_NAME).write_text(
+            json.dumps({"entries": [{"tag": "x", "metrics": {"fake_s": 1.0}}]})
+        )
+        assert "fake_s" not in trajectory.collect_metrics(tmp_path)
+
+
+class TestRegressionGate:
+    def test_first_entry_sets_the_baseline(self, trajectory, tmp_path):
+        _write_bench(tmp_path, 2.0, 1.0)
+        regressed, entry = trajectory.append_run(tmp_path, "pr1")
+        assert regressed == [] and entry["tag"] == "pr1"
+        doc = json.loads((tmp_path / trajectory.TRAJECTORY_NAME).read_text())
+        assert [e["tag"] for e in doc["entries"]] == ["pr1"]
+
+    def test_regression_beyond_tolerance_fails(self, trajectory, tmp_path):
+        _write_bench(tmp_path, 2.0, 1.0)
+        trajectory.append_run(tmp_path, "pr1")
+        _write_bench(tmp_path, 2.5, 1.0)  # +25% factor wall
+        regressed, _ = trajectory.append_run(tmp_path, "pr2", dry_run=True)
+        assert len(regressed) == 2  # threads row + simulator row factor_wall_s
+        assert any("factor_wall_s" in line for line in regressed)
+        assert trajectory.main(["--tag", "pr2", "--root", str(tmp_path)]) == 1
+
+    def test_within_tolerance_passes(self, trajectory, tmp_path):
+        _write_bench(tmp_path, 2.0, 1.0)
+        trajectory.append_run(tmp_path, "pr1")
+        _write_bench(tmp_path, 2.1, 0.8)  # +5% and an improvement
+        regressed, _ = trajectory.append_run(tmp_path, "pr2")
+        assert regressed == []
+        assert trajectory.main(["--tag", "pr3", "--root", str(tmp_path)]) == 0
+
+    def test_new_metric_starts_fresh_baseline(self, trajectory):
+        assert trajectory.regressions({"a_s": 1.0}, {"b_s": 99.0}) == []
+
+    def test_dry_run_does_not_append(self, trajectory, tmp_path):
+        _write_bench(tmp_path, 2.0, 1.0)
+        trajectory.append_run(tmp_path, "pr1")
+        _write_bench(tmp_path, 9.0, 9.0)
+        regressed, _ = trajectory.append_run(tmp_path, "pr2", dry_run=True)
+        assert regressed
+        doc = json.loads((tmp_path / trajectory.TRAJECTORY_NAME).read_text())
+        assert [e["tag"] for e in doc["entries"]] == ["pr1"]
+
+
+def test_real_artifacts_collect_cleanly(trajectory):
+    """Local BENCH_*.json artifacts (gitignored, so absent on a fresh
+    clone) flatten without error when present."""
+    if not any(REPO.glob("BENCH_*.json")):
+        pytest.skip("no benchmark artifacts at the repo root")
+    metrics = trajectory.collect_metrics(REPO)
+    assert all(isinstance(v, float) for v in metrics.values())

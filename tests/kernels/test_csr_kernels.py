@@ -8,6 +8,7 @@ from hypothesis import strategies as st
 from repro.sparse import CSRMatrix
 from repro.kernels import (
     csr_diagonal,
+    csr_gather_rows,
     csr_matvec,
     csr_row_norms,
     segment_sums,
@@ -136,3 +137,39 @@ class TestSplitLuVectorized:
             assert np.array_equal(M0.indptr, M1.indptr)
             assert np.array_equal(M0.indices, M1.indices)
             assert np.array_equal(M0.data, M1.data)
+
+
+class TestCsrGatherRows:
+    def test_matches_scalar_row_walk(self, medium_poisson):
+        A = medium_poisson
+        picked = np.array([5, 0, 3, 5], dtype=np.int64)  # order + repeats kept
+        ii, cc, flat = csr_gather_rows(A, picked)
+        ref_rows, ref_cols, ref_vals = [], [], []
+        for i in picked:
+            cols, vals = A.row(int(i))
+            ref_rows.extend([int(i)] * cols.size)
+            ref_cols.extend(cols.tolist())
+            ref_vals.extend(vals.tolist())
+        assert ii.tolist() == ref_rows
+        assert cc.tolist() == ref_cols
+        assert A.data[flat].tolist() == ref_vals
+
+    def test_empty_selection(self, small_poisson):
+        ii, cc, flat = csr_gather_rows(small_poisson, np.empty(0, dtype=np.int64))
+        assert ii.size == cc.size == flat.size == 0
+
+    @settings(max_examples=40, deadline=None)
+    @given(coo_matrices())
+    def test_hypothesis_bit_parity(self, data):
+        n, rows, cols, vals = data
+        A = CSRMatrix.from_coo(rows, cols, vals, (n, n))
+        picked = np.arange(n - 1, -1, -1, dtype=np.int64)  # reversed order
+        ii, cc, flat = csr_gather_rows(A, picked)
+        off = 0
+        for i in picked:
+            rc, rv = A.row(int(i))
+            assert np.array_equal(cc[off : off + rc.size], rc)
+            assert np.array_equal(ii[off : off + rc.size], np.full(rc.size, i))
+            assert np.array_equal(A.data[flat[off : off + rc.size]], rv)
+            off += rc.size
+        assert off == ii.size

@@ -1,0 +1,18 @@
+"""PERF001 bad twin: scalar CSR row loops on the cost-charged path."""
+
+
+def charged_scalar_matvec(A, x, sim):
+    y = x * 0
+    for i in range(A.shape[0]):
+        cols, vals = A.row(i)
+        y[i] = (vals * x[cols]).sum()
+    sim.compute(0, 2.0 * A.nnz)
+    return y
+
+
+def charged_row_walk(A, sim):
+    total = 0.0
+    for i, (cols, vals) in enumerate(A.iter_rows()):
+        total += vals.sum()
+    sim.compute(0, float(A.nnz))
+    return total

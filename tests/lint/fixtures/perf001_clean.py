@@ -1,0 +1,40 @@
+"""PERF001 clean twin: backend dispatch, reference paths, cold paths."""
+
+
+def dispatched_matvec(A, x, sim, *, backend=None):
+    # has a backend parameter: the scalar branch is the reference twin
+    y = x * 0
+    for i in range(A.shape[0]):
+        cols, vals = A.row(i)
+        y[i] = (vals * x[cols]).sum()
+    sim.compute(0, 2.0 * A.nnz)
+    return y
+
+
+def resolved_matvec(A, x, sim):
+    from repro.kernels.backend import resolve_backend
+
+    if resolve_backend(None) == "reference":
+        for i in range(A.shape[0]):
+            cols, vals = A.row(i)
+            x[i] += vals.sum()
+    sim.compute(0, 2.0 * A.nnz)
+    return x
+
+
+def documented_reference(A, x, sim):
+    """Scalar reference implementation the parity suite diffs against."""
+    for i in range(A.shape[0]):
+        cols, vals = A.row(i)
+        x[i] += vals.sum()
+    sim.compute(0, 2.0 * A.nnz)
+    return x
+
+
+def uncharged_helper(A):
+    # no machine-model charges: not a hot path this rule polices
+    out = []
+    for i in range(A.shape[0]):
+        cols, vals = A.row(i)
+        out.append(vals.sum())
+    return out

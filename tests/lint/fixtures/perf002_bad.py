@@ -1,0 +1,17 @@
+"""PERF002 bad twin: per-iteration array growth."""
+
+import numpy as np
+
+
+def grown_with_np_append(n):
+    out = np.zeros(0)
+    for i in range(n):
+        out = np.append(out, float(i) * 0.5)
+    return out
+
+
+def grown_via_list(n):
+    vals = []
+    for i in range(n):
+        vals.append(float(i) * 0.5)
+    return np.array(vals)

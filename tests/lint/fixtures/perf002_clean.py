@@ -1,0 +1,19 @@
+"""PERF002 clean twin: preallocation and loop-free construction."""
+
+import numpy as np
+
+
+def preallocated(n):
+    out = np.zeros(n)
+    for i in range(n):
+        out[i] = float(i) * 0.5
+    return out
+
+
+def vectorized(n):
+    return np.arange(n, dtype=np.float64) * 0.5
+
+
+def append_outside_loop(a, b):
+    # a single concatenation is not per-iteration growth
+    return np.append(a, b)

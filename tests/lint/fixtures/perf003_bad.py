@@ -1,0 +1,19 @@
+"""PERF003 bad twin: int arrays promoted by float arithmetic in loops."""
+
+import numpy as np
+
+
+def scaled_counts(n, iters):
+    counts = np.zeros(n, dtype=np.int64)
+    total = 0.0
+    for _ in range(iters):
+        total += (counts * 0.5).sum()
+    return total
+
+
+def divided_indices(n, iters):
+    idx = np.arange(n)
+    acc = 0.0
+    for _ in range(iters):
+        acc += (idx / n).sum()
+    return acc

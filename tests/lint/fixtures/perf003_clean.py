@@ -1,0 +1,24 @@
+"""PERF003 clean twin: convert once outside, or stay integral."""
+
+import numpy as np
+
+
+def converted_outside(n, iters):
+    counts = np.zeros(n, dtype=np.float64)
+    total = 0.0
+    for _ in range(iters):
+        total += (counts * 0.5).sum()
+    return total
+
+
+def integral_arithmetic(n, iters):
+    counts = np.zeros(n, dtype=np.int64)
+    total = 0
+    for _ in range(iters):
+        total += (counts + 1).sum()
+    return total
+
+
+def promotion_outside_loop(n):
+    counts = np.zeros(n, dtype=np.int64)
+    return (counts * 0.5).sum()

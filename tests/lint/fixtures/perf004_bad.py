@@ -1,0 +1,13 @@
+"""PERF004 bad twin: defensive copies of dead, freshly-owned buffers."""
+
+import numpy as np
+
+
+def copied_fresh_zeros(n):
+    buf = np.zeros(n)
+    return buf.copy()
+
+
+def arrayed_fresh_arithmetic(x):
+    scaled = x * 2.0
+    return np.array(scaled)

@@ -1,0 +1,33 @@
+"""PERF004 clean twin: copies that are load-bearing."""
+
+import numpy as np
+
+
+def handed_over_directly(n):
+    buf = np.zeros(n)
+    return buf
+
+
+def source_still_used(n):
+    buf = np.zeros(n)
+    snapshot = buf.copy()
+    buf[0] = 1.0  # the original is mutated after the copy: copy needed
+    return snapshot, buf
+
+
+def aliased_return_pair(n):
+    # the original is returned alongside the copy (same statement):
+    # eliding would hand the caller two views of one buffer
+    e = np.empty(0, dtype=np.int64)
+    return e, e.copy()
+
+
+def copy_of_borrowed_argument(x):
+    # x belongs to the caller: the defensive copy is correct
+    return x.copy()
+
+
+def reassigned_name(n):
+    buf = np.zeros(n)
+    buf = buf[1:]  # more than one binding: ownership is not obvious
+    return np.array(buf)

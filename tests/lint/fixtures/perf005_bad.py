@@ -1,0 +1,13 @@
+"""PERF005 bad twin: level schedules rebuilt per iteration."""
+
+
+def iterate_solves(factors, rhs_list):
+    from repro.kernels import BatchedTriangularSchedule
+    from repro.ilu.apply import triangular_levels
+
+    outs = []
+    for b in rhs_list:
+        levels = triangular_levels(factors.L, lower=True)
+        sched = BatchedTriangularSchedule(factors.U, lower=False)
+        outs.append((levels, sched, b))
+    return outs

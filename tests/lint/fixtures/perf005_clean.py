@@ -1,0 +1,28 @@
+"""PERF005 clean twin: hoisted, cached, or genuinely loop-varying."""
+
+
+def hoisted(factors, rhs_list):
+    from repro.ilu.apply import triangular_levels
+
+    levels = triangular_levels(factors.L, lower=True)
+    return [(levels, b) for b in rhs_list]
+
+
+def cached(factors, rhs_list):
+    from repro.kernels import cached_schedules
+
+    outs = []
+    for b in rhs_list:
+        fwd, bwd = cached_schedules(factors)
+        outs.append((fwd, bwd, b))
+    return outs
+
+
+def loop_varying_factors(factor_list):
+    from repro.ilu.apply import triangular_levels
+
+    outs = []
+    for factors in factor_list:
+        # the matrix changes every iteration: rebuilding is correct
+        outs.append(triangular_levels(factors.L, lower=True))
+    return outs

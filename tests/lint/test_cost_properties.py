@@ -1,0 +1,155 @@
+"""Property suite: symbolic cost models vs runtime counters.
+
+The closed forms registered in ``COST_SPECS`` were certified by
+``repro lint --verify-costs`` on one seeded Poisson instance; this
+suite replays the certification on *random* CSR matrices across rank
+counts 1–4 and both kernel backends.  The structural parameters
+(``nnz``, halo sizes, consumer sets) are recomputed here from the raw
+arrays, then each closed form must evaluate to exactly the simulator's
+recorded total — no tolerance, the models are exact counts.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lint.flow.cost import COST_SPECS, CostExpr
+
+pytestmark = pytest.mark.filterwarnings("ignore::UserWarning")
+
+_MATVEC_SPEC = COST_SPECS["src/repro/solvers/parallel_matvec.py::parallel_matvec"]
+_TRI_SPEC = COST_SPECS[
+    "src/repro/ilu/triangular.py::parallel_triangular_solve"
+]
+
+
+@st.composite
+def instances(draw, max_n=16):
+    """(nranks, A): a random diagonally dominant CSR matrix with a
+    symmetric pattern, plus a rank count it can be decomposed over."""
+    nranks = draw(st.integers(min_value=1, max_value=4))
+    n = draw(st.integers(min_value=max(4, 2 * nranks), max_value=max_n))
+    nnz = draw(st.integers(min_value=0, max_value=3 * n))
+    rows = draw(st.lists(st.integers(0, n - 1), min_size=nnz, max_size=nnz))
+    cols = draw(st.lists(st.integers(0, n - 1), min_size=nnz, max_size=nnz))
+    vals = draw(
+        st.lists(
+            st.floats(-2.0, 2.0, allow_nan=False, allow_infinity=False),
+            min_size=nnz,
+            max_size=nnz,
+        )
+    )
+    from repro.sparse import CSRMatrix
+
+    r = np.array(rows + cols + list(range(n)), dtype=np.int64)
+    c = np.array(cols + rows + list(range(n)), dtype=np.int64)
+    v = np.concatenate([np.array(vals + vals, dtype=np.float64), np.full(n, 8.0)])
+    return nranks, CSRMatrix.from_coo(r, c, v, (n, n))
+
+
+def _stats_by_component(stats) -> dict[str, float]:
+    return {
+        "flops": float(stats.total_flops),
+        "messages": float(stats.messages),
+        "words": float(stats.words_sent),
+        "barriers": float(stats.barriers),
+        "collectives": float(stats.collectives),
+    }
+
+
+def _assert_closed_forms(spec, env, stats, label):
+    recorded = _stats_by_component(stats)
+    for component, text in spec.components().items():
+        if text is None:
+            continue
+        expected = CostExpr(text).evaluate(env)
+        assert recorded[component] == float(expected), (
+            f"{label}: {component} == {text}: "
+            f"expected {expected}, recorded {recorded[component]} (env {env})"
+        )
+
+
+class TestMatvecCostModel:
+    @settings(max_examples=25, deadline=None)
+    @given(instances())
+    def test_closed_forms_hold_on_random_instances(self, data):
+        from repro.decomp import decompose
+        from repro.lint.costverify import _halo_params
+        from repro.machine import CRAY_T3D, ChargeLedger, Simulator
+        from repro.solvers.parallel_matvec import parallel_matvec
+
+        nranks, A = data
+        decomp = decompose(A, nranks, seed=0)
+        x = np.linspace(-1.0, 1.0, A.shape[0])
+        halo_pairs, halo_words = _halo_params(decomp)
+        env = {
+            "n": float(A.shape[0]),
+            "p": float(nranks),
+            "nnz": float(A.nnz),
+            "halo_pairs": float(halo_pairs),
+            "halo_words": halo_words,
+        }
+        outs = {}
+        for backend in ("reference", "vectorized"):
+            ledger = ChargeLedger()
+            sim = Simulator(nranks, CRAY_T3D, ledger=ledger)
+            res = parallel_matvec(A, decomp, x, transport=sim, backend=backend)
+            stats = sim.stats()
+            sim.close()
+            _assert_closed_forms(_MATVEC_SPEC, env, stats, backend)
+            # the ledger and the stats counters are dual accounts
+            assert ledger.total("compute") == float(stats.total_flops)
+            assert ledger.count("barrier") == stats.barriers
+            outs[backend] = (res.y, res.modeled_time, stats.total_flops)
+        # charges are bit-identical across backends; the numeric result
+        # may differ in summation order, so it gets a tolerance instead
+        assert outs["reference"][1:] == outs["vectorized"][1:]
+        np.testing.assert_allclose(
+            outs["reference"][0], outs["vectorized"][0], rtol=1e-12, atol=1e-12
+        )
+
+
+class TestTriangularCostModel:
+    @settings(max_examples=15, deadline=None)
+    @given(instances(max_n=14))
+    def test_closed_forms_hold_on_random_factors(self, data):
+        from repro.ilu import parallel_ilut
+        from repro.ilu.params import ILUTParams
+        from repro.ilu.triangular import parallel_triangular_solve
+        from repro.lint.costverify import _triangular_comm
+        from repro.machine import CRAY_T3D, ChargeLedger, Simulator
+
+        nranks, A = data
+        fact = parallel_ilut(
+            A, ILUTParams(fill=3, threshold=1e-4), nranks, seed=0, transport="none"
+        )
+        factors = fact.factors
+        b = A @ np.ones(A.shape[0])
+        q = len(factors.levels.interface_levels)
+        tri_messages, tri_words = _triangular_comm(factors)
+        env = {
+            "n": float(A.shape[0]),
+            "p": float(nranks),
+            "q": float(q),
+            "nnz_L": float(factors.L.nnz),
+            "nnz_U": float(factors.U.nnz),
+            "tri_messages": float(tri_messages),
+            "tri_words": tri_words,
+        }
+        outs = {}
+        for backend in ("reference", "vectorized"):
+            ledger = ChargeLedger()
+            sim = Simulator(nranks, CRAY_T3D, ledger=ledger)
+            sol = parallel_triangular_solve(
+                factors, b, nranks=nranks, transport=sim, backend=backend
+            )
+            stats = sim.stats()
+            sim.close()
+            _assert_closed_forms(_TRI_SPEC, env, stats, backend)
+            assert ledger.total("compute") == float(stats.total_flops)
+            outs[backend] = (sol.x, sol.modeled_time, stats.messages)
+        assert outs["reference"][1:] == outs["vectorized"][1:]
+        np.testing.assert_allclose(
+            outs["reference"][0], outs["vectorized"][0], rtol=1e-9, atol=1e-9
+        )

@@ -11,7 +11,13 @@ from repro.lint.fixes import fix_paths, fix_source, render_diff
 FIXTURES = Path(__file__).parent / "fixtures"
 REPO = Path(__file__).resolve().parents[2]
 
-FIXABLE_FIXTURES = ("det001_bad.py", "det002_bad.py", "det004_bad.py", "brk001_bad.py")
+FIXABLE_FIXTURES = (
+    "det001_bad.py",
+    "det002_bad.py",
+    "det004_bad.py",
+    "brk001_bad.py",
+    "perf004_bad.py",
+)
 
 
 def _fix_fixture(name: str, select=()):
@@ -76,6 +82,52 @@ def test_fix_is_idempotent(name):
     assert ok1 and ok2
     assert twice == once
     assert fixes2 == []
+
+
+def test_perf002_preallocates_the_provable_list_growth():
+    new, fixes, ok = _fix_fixture("perf002_bad.py", select=("PERF002",))
+    assert ok
+    assert [f.rule for f in fixes] == ["PERF002"]
+    assert "vals = np.zeros(n)" in new
+    assert "vals[i] = float(i) * 0.5" in new
+    assert "np.asarray(vals)" in new
+    # the np.append variant has no safe mechanical rewrite: untouched
+    assert "np.append(out, float(i) * 0.5)" in new
+    twice, fixes2, ok2 = fix_source(
+        new, "src/repro/perf002_bad.py", select=("PERF002",)
+    )
+    assert ok2 and twice == new and fixes2 == []
+
+
+def test_perf002_rewrite_is_value_identical():
+    new, _fixes, ok = _fix_fixture("perf002_bad.py", select=("PERF002",))
+    assert ok
+    import numpy as np
+
+    old_ns: dict = {}
+    new_ns: dict = {}
+    exec((FIXTURES / "perf002_bad.py").read_text(encoding="utf-8"), old_ns)
+    exec(new, new_ns)
+    for n in (0, 1, 7):
+        a = old_ns["grown_via_list"](n)
+        b = new_ns["grown_via_list"](n)
+        assert a.dtype == b.dtype == np.float64
+        assert a.tobytes() == b.tobytes()
+
+
+def test_perf004_elides_dead_copies():
+    new, fixes, ok = _fix_fixture("perf004_bad.py", select=("PERF004",))
+    assert ok
+    assert [f.rule for f in fixes] == ["PERF004", "PERF004"]
+    assert "buf.copy()" not in new
+    assert "np.array(scaled)" not in new
+    assert "return buf" in new and "return scaled" in new
+
+
+def test_perf004_keeps_load_bearing_copies():
+    src = (FIXTURES / "perf004_clean.py").read_text(encoding="utf-8")
+    new, fixes, ok = fix_source(src, "src/repro/perf004_clean.py", select=("PERF004",))
+    assert ok and fixes == [] and new == src
 
 
 def test_select_limits_the_passes():

@@ -31,6 +31,11 @@ SNIPPET_CASES = {
     "TRN002": ("trn002_bad.py", 2, "trn002_clean.py"),
     "TRN003": ("trn003_bad.py", 2, "trn003_clean.py"),
     "TRN004": ("trn004_bad.py", 2, "trn004_clean.py"),
+    "PERF001": ("perf001_bad.py", 2, "perf001_clean.py"),
+    "PERF002": ("perf002_bad.py", 2, "perf002_clean.py"),
+    "PERF003": ("perf003_bad.py", 2, "perf003_clean.py"),
+    "PERF004": ("perf004_bad.py", 2, "perf004_clean.py"),
+    "PERF005": ("perf005_bad.py", 2, "perf005_clean.py"),
 }
 
 #: rule id -> fixture the *syntactic* rule used to flag, discharged by
